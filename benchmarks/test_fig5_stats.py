@@ -1,0 +1,38 @@
+"""Figure 5 — benchmark statistics.
+
+The paper tabulates, for each benchmark, the lines of C, the lines of the
+verifier-language translation, the number of procedures, and the number of
+assertions.  Our suites are scaled-down synthetic counterparts (see
+DESIGN.md); the *relative* ordering (CWE690 > CWE476, Drv7 largest, the
+WDK samples tiny) mirrors the original table.
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _util import SCALE, emit
+
+from repro.bench import (LARGE_SUITE_RECIPES, SMALL_SUITE_RECIPES,
+                         fig5_table, make_suite, suite_statistics)
+
+
+def test_fig5_benchmark_statistics(benchmark):
+    def run():
+        stats = []
+        for name in list(SMALL_SUITE_RECIPES) + list(LARGE_SUITE_RECIPES):
+            suite = make_suite(name, scale=SCALE)
+            stats.append(suite_statistics(suite))
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig5_stats", fig5_table(stats))
+
+    by_name = {s["bench"]: s for s in stats}
+    # shapes from the paper's table
+    assert by_name["CWE690"]["procs"] > by_name["CWE476"]["procs"]
+    assert by_name["Drv7"]["procs"] == max(
+        s["procs"] for n, s in by_name.items() if n.startswith("Drv"))
+    assert by_name["event"]["procs"] < by_name["space"]["procs"]
+    for s in stats:
+        assert s["asserts"] > 0
+        assert s["loc_il"] > 0

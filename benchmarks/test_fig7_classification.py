@@ -1,0 +1,65 @@
+"""Figure 7 — precision/completeness classification on the labeled suites.
+
+The CWE-style suites carry ground-truth labels (our generators know which
+dereferences are bugs, just as the NIST SAMATE suite labels its test
+cases).  For each configuration we count correctly classified assertions
+(C), false positives (FP) and false negatives (FN).
+
+Shapes that must hold (§5.1.2):
+
+* "Adding abstractions (such as A1 and A2) to Conc allows us to report
+  more real bugs than the concrete domain while barely increasing the
+  number of false positives";
+* Conc reports (essentially) no false positives on these suites;
+* the conservative verifier has no false negatives but many false
+  positives;
+* "Even the coarsest abstraction fails to report lots of real bugs"
+  (the FN count stays well above zero — by design, not weakness).
+"""
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from _util import SCALE, TIMEOUT, emit
+
+from repro.bench import (classify, fig7_table, make_suite,
+                         run_conservative, run_suite)
+from repro.bench.runner import compile_suite
+from repro.core import A1, A2, CONC
+
+SUITES = ["CWE476", "CWE690"]
+
+
+def test_fig7_alarm_classification(benchmark):
+    def run():
+        data = {}
+        for name in SUITES:
+            suite = make_suite(name, scale=SCALE)
+            program = compile_suite(suite)
+            cells = {}
+            for config in (CONC, A1, A2):
+                r = run_suite(suite, config, timeout=TIMEOUT, program=program)
+                cells[config.name] = classify(suite, r)
+            cons = run_conservative(suite, timeout=TIMEOUT, program=program)
+            cells["Cons"] = classify(suite, cons)
+            data[name] = cells
+        return data
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig7_classification", fig7_table(data))
+
+    def total(config, attr):
+        return sum(getattr(cells[config], attr) for cells in data.values())
+
+    # Conc: high precision — no false positives on the labeled suites
+    assert total("Conc", "false_positives") == 0
+    # the abstractions classify at least as many assertions correctly
+    assert total("A1", "correct") >= total("Conc", "correct")
+    assert total("A2", "correct") >= total("Conc", "correct")
+    # and barely increase false positives (the paper sees 0 -> 2)
+    assert total("A2", "false_positives") <= total("Conc", "false_positives") + 3
+    # the conservative verifier: complete but imprecise
+    assert total("Cons", "false_negatives") == 0
+    assert total("Cons", "false_positives") > 0
+    # even the coarsest abstraction misses real bugs (expected FNs)
+    assert total("A2", "false_negatives") > 0

@@ -1,0 +1,77 @@
+"""Using the verifier-language frontend directly (the tool "accepts a
+source file in the Boogie language", §5).
+
+Shows the mini-Boogie surface syntax, the weakest-precondition view
+(§2.2), the mined predicate vocabulary (§4.4.1), and the almost-correct
+specification search on the Figure 1 program written in the IL.
+
+Run:  python examples/boogie_frontend.py
+"""
+
+from repro import CONC, find_abstract_sibs, parse_program, typecheck
+from repro.lang.pretty import pp_formula, pp_procedure
+from repro.lang.transform import prepare_procedure
+from repro.vc.wp import wp_proc
+
+FIG1_BPL = """
+var Freed: [int]int;
+
+procedure Foo(c: int, buf: int, cmd: int)
+  modifies Freed;
+{
+  if (*) {
+    A1: assert Freed[c] == 0;
+    Freed[c] := 1;
+    A2: assert Freed[buf] == 0;
+    Freed[buf] := 1;
+    return;
+  }
+  if (cmd == 0) {
+    if (*) {
+      A3: assert Freed[c] == 0;
+      Freed[c] := 1;
+      A4: assert Freed[buf] == 0;
+      Freed[buf] := 1;
+      // ERROR: missing return
+    }
+  }
+  A5: assert Freed[c] == 0;
+  Freed[c] := 1;
+  A6: assert Freed[buf] == 0;
+  Freed[buf] := 1;
+  return;
+}
+"""
+
+
+def main() -> None:
+    program = typecheck(parse_program(FIG1_BPL))
+    proc = prepare_procedure(program, program.proc("Foo"))
+
+    print("=== lowered, instrumented procedure ===")
+    print(pp_procedure(proc))
+
+    print("\n=== weakest precondition wp(Foo, true), textbook form ===")
+    print(pp_formula(wp_proc(proc.body))[:400], "...")
+
+    res = find_abstract_sibs(program, "Foo", config=CONC)
+    print("\n=== analysis ===")
+    print("mined predicates Q:")
+    for p in res.preds:
+        print("   ", pp_formula(p))
+    print("predicate cover clauses:", res.n_cover_clauses)
+    print("status:", res.status)
+    print("conservative warnings:", res.conservative_warnings)
+    print("almost-correct spec(s):")
+    for s in res.specs:
+        print("   ", s)
+    print("high-confidence warnings:", res.warnings)
+
+    assert res.warnings == ["A5"]
+    print("\nreproduced: Q matches the paper "
+          "({!Freed[c], !Freed[buf], cmd==READ, c==buf}), and only the "
+          "real double free (A5) survives.")
+
+
+if __name__ == "__main__":
+    main()

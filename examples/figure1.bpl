@@ -1,0 +1,30 @@
+// The paper's Figure 1 (double free via missing return), in the
+// mini-Boogie surface syntax.  Try:
+//   python -m repro --show-cons examples/figure1.bpl
+var Freed: [int]int;
+
+procedure Foo(c: int, buf: int, cmd: int)
+  modifies Freed;
+{
+  if (*) {
+    A1: assert Freed[c] == 0;
+    Freed[c] := 1;
+    A2: assert Freed[buf] == 0;
+    Freed[buf] := 1;
+    return;
+  }
+  if (cmd == 0) {          // cmd == READ
+    if (*) {
+      A3: assert Freed[c] == 0;
+      Freed[c] := 1;
+      A4: assert Freed[buf] == 0;
+      Freed[buf] := 1;
+      // ERROR: missing return
+    }
+  }
+  A5: assert Freed[c] == 0;
+  Freed[c] := 1;
+  A6: assert Freed[buf] == 0;
+  Freed[buf] := 1;
+  return;
+}

@@ -1,0 +1,20 @@
+/* The paper's Figure 2 (unchecked calloc from the SAMATE suite).  Try:
+ *   python -m repro --c --config Conc --config A1 examples/figure2.c
+ *   python -m repro --c --prune-k 1 examples/figure2.c
+ */
+struct twoints { int a; int b; };
+int static_returns_t(void);
+
+void Bar(void) {
+  struct twoints *data = NULL;
+  data = (struct twoints *)calloc(100, sizeof(struct twoints));
+  if (static_returns_t()) {
+    /* FLAW: should check whether the allocation failed */
+    data[0].a = 1;
+  } else {
+    if (data != NULL) {
+      data[0].a = 1;
+    } else {
+    }
+  }
+}

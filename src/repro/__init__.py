@@ -1,0 +1,32 @@
+"""repro — a reproduction of "Almost-Correct Specifications: A Modular
+Semantic Framework for Assigning Confidence to Warnings" (Blackshear &
+Lahiri, PLDI 2013).
+
+Public API tour:
+
+* ``compile_c(src)`` — mini-C to the analyzable IL (HAVOC stand-in);
+* ``parse_program(src)`` — the mini-Boogie surface syntax;
+* ``analyze_procedure(prog, name, config, prune_k)`` — the full ACSpec
+  pipeline with timeout accounting;
+* ``find_abstract_sibs`` — Algorithm 1 with rich results;
+* ``CONC / A0 / A1 / A2`` — the Figure 4 abstract configurations;
+* ``repro.smt`` — the from-scratch SMT solver underneath it all.
+"""
+
+from .core import (A0, A1, A2, ALL_CONFIGS, CONC, AbstractionConfig,
+                   ProcedureReport, ProgramReport, SibResult, SibStatus,
+                   analyze_procedure, analyze_program, check_procedure,
+                   find_abstract_sibs)
+from .frontend import compile_c
+from .lang import parse_procedure, parse_program, typecheck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A0", "A1", "A2", "ALL_CONFIGS", "CONC", "AbstractionConfig",
+    "ProcedureReport", "ProgramReport", "SibResult", "SibStatus",
+    "analyze_procedure", "analyze_program", "check_procedure",
+    "find_abstract_sibs",
+    "compile_c", "parse_procedure", "parse_program", "typecheck",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness: synthetic suites, runner, and paper-style tables."""
+
+from .runner import (Classification, SuiteRun, classify, compile_suite,
+                     run_conservative, run_suite, suite_statistics)
+from .suites import (LARGE_SUITE_RECIPES, PATTERNS, SMALL_SUITE_RECIPES,
+                     Suite, build_suite, large_suites, make_suite,
+                     small_suites)
+from .tables import (fig5_table, fig6_table, fig7_table, fig8_table,
+                     fig9_table, render_table)
+
+__all__ = [
+    "Classification", "SuiteRun", "classify", "compile_suite",
+    "run_conservative", "run_suite", "suite_statistics",
+    "LARGE_SUITE_RECIPES", "PATTERNS", "SMALL_SUITE_RECIPES",
+    "Suite", "build_suite", "large_suites", "make_suite", "small_suites",
+    "fig5_table", "fig6_table", "fig7_table", "fig8_table", "fig9_table",
+    "render_table",
+]

@@ -1,0 +1,125 @@
+"""Paper-style table rendering for the benchmark harness.
+
+Each ``figN_*`` function takes the aggregated data produced by the
+benchmark scripts and renders rows shaped like the corresponding table in
+the paper's §5.
+"""
+
+from __future__ import annotations
+
+from .runner import Classification
+
+
+def _fmt_row(cells: list, widths: list[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    out = [_fmt_row(headers, widths),
+           _fmt_row(["-" * w for w in widths], widths)]
+    for r in rows:
+        out.append(_fmt_row(r, widths))
+    return "\n".join(out)
+
+
+def fig5_table(stats: list[dict]) -> str:
+    """Benchmark statistics (Figure 5)."""
+    headers = ["Bench", "LOC (C)", "LOC (IL)", "Procs", "Asserts"]
+    rows = [[s["bench"], s["loc_c"], s["loc_il"], s["procs"], s["asserts"]]
+            for s in stats]
+    total = ["Total",
+             sum(s["loc_c"] for s in stats),
+             sum(s["loc_il"] for s in stats),
+             sum(s["procs"] for s in stats),
+             sum(s["asserts"] for s in stats)]
+    return render_table(headers, rows + [total])
+
+
+def fig6_table(data: dict) -> str:
+    """Warning counts for Conc/A1/A2 with clause pruning (Figure 6).
+
+    ``data`` maps suite name -> {(config, k): count, 'Cons': count,
+    'TO': count}; k is None (no pruning), 3, 2 or 1.
+    """
+    configs = ["Conc", "A1", "A2"]
+    ks = [None, 3, 2, 1]
+    headers = ["Bench"]
+    for c in configs:
+        headers += [c] + [f"{c} k={k}" for k in ks if k is not None]
+    headers += ["Cons", "TO"]
+    rows = []
+    for bench, cells in data.items():
+        row = [bench]
+        for c in configs:
+            for k in ks:
+                row.append(cells.get((c, k), ""))
+        row.append(cells.get("Cons", ""))
+        row.append(cells.get("TO", ""))
+        rows.append(row)
+    totals = ["Total"]
+    for c in configs:
+        for k in ks:
+            totals.append(sum(cells.get((c, k), 0) for cells in data.values()))
+    totals.append(sum(cells.get("Cons", 0) for cells in data.values()))
+    totals.append(sum(cells.get("TO", 0) for cells in data.values()))
+    return render_table(headers, rows + [totals])
+
+
+def fig7_table(data: dict) -> str:
+    """Classification of alarms (Figure 7).
+
+    ``data`` maps suite name -> {config: Classification}.
+    """
+    configs = ["Conc", "A1", "A2", "Cons"]
+    headers = ["Bench", "Asrt"]
+    for c in configs:
+        headers += [f"{c} C", f"{c} FP", f"{c} FN"]
+    rows = []
+    for bench, cells in data.items():
+        some: Classification = next(iter(cells.values()))
+        row = [bench, some.total]
+        for c in configs:
+            cl = cells[c]
+            row += [cl.correct, cl.false_positives, cl.false_negatives]
+        rows.append(row)
+    totals = ["Total", sum(r[1] for r in rows)]
+    for i in range(len(configs) * 3):
+        totals.append(sum(r[2 + i] for r in rows))
+    return render_table(headers, rows + [totals])
+
+
+def fig8_table(data: dict) -> str:
+    """Large-benchmark warning counts (Figure 8).
+
+    ``data`` maps suite name -> {'Procs':, 'Asrt':, 'Conc':, 'A1':,
+    'A2':, 'Cons':, 'TO':}.
+    """
+    headers = ["Bench", "Procs", "Asrt", "Conc", "A1", "A2", "Cons", "TO"]
+    rows = []
+    for bench, cells in data.items():
+        rows.append([bench] + [cells.get(h, "") for h in headers[1:]])
+    totals = ["Total"] + [sum(cells.get(h, 0) for cells in data.values())
+                          for h in headers[1:]]
+    return render_table(headers, rows + [totals])
+
+
+def fig9_table(data: dict) -> str:
+    """Per-procedure averages (Figure 9): P = predicates, C = cover
+    clauses, T = seconds; per configuration.
+
+    ``data`` maps suite name -> {config: (P, C, T)}.
+    """
+    configs = ["Conc", "A1", "A2"]
+    headers = ["Bench"]
+    for c in configs:
+        headers += [f"{c} P", f"{c} C", f"{c} T"]
+    rows = []
+    for bench, cells in data.items():
+        row = [bench]
+        for c in configs:
+            p, cl, t = cells[c]
+            row += [f"{p:.1f}", f"{cl:.1f}", f"{t:.2f}"]
+        rows.append(row)
+    return render_table(headers, rows)

@@ -1,0 +1,125 @@
+"""Command-line driver, modeled on the original ACSpec tool (§5):
+
+    "It accepts a source file in the Boogie language and a list of
+     abstractions as input.  It outputs whether the procedure has a SIB
+     under the abstractions, searches for the set of almost-correct
+     specifications in the predicate vocabulary allowed by the
+     abstractions, and prints the set of errors induced by the
+     specifications."
+
+Usage::
+
+    python -m repro [--c] [--config NAME]... [--prune-k K]
+                    [--timeout SECONDS] [--proc NAME] FILE
+
+``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
+the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
+``--proc`` restricts to one procedure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import BY_NAME, CONC, analyze_procedure
+from .core.sib import SibStatus
+from .frontend import compile_c
+from .lang import parse_program, typecheck
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="ACSpec: rank modular-verifier warnings by the "
+                    "almost-correct specifications that induce them.")
+    ap.add_argument("file", help="input program (mini-Boogie, or mini-C "
+                                 "with --c)")
+    ap.add_argument("--c", action="store_true", dest="c_mode",
+                    help="treat the input as mini-C (HAVOC-style lowering)")
+    ap.add_argument("--config", action="append", dest="configs",
+                    metavar="NAME", choices=sorted(BY_NAME),
+                    help="abstract configuration (repeatable; default Conc)")
+    ap.add_argument("--prune-k", type=int, default=None, metavar="K",
+                    help="clause pruning bound (§4.3); default: no pruning")
+    ap.add_argument("--timeout", type=float, default=10.0,
+                    help="per-procedure timeout in seconds (default 10, "
+                         "as in the paper)")
+    ap.add_argument("--proc", default=None,
+                    help="analyze only this procedure")
+    ap.add_argument("--unroll", type=int, default=2,
+                    help="loop unrolling depth (default 2, as in the paper)")
+    ap.add_argument("--show-cons", action="store_true",
+                    help="also print the conservative verifier's warnings")
+    ap.add_argument("--triage", action="store_true",
+                    help="run every configuration plus the doomed-point "
+                         "check and print one confidence-ordered list")
+    return ap
+
+
+def run(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.c_mode:
+            program = compile_c(source, unroll_depth=args.unroll)
+        else:
+            program = typecheck(parse_program(source))
+    except (SyntaxError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.triage:
+        from .core.report import triage_program
+        names = [args.proc] if args.proc else None
+        if args.proc and args.proc not in program.procedures:
+            print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
+            return 2
+        report = triage_program(program, prune_k=args.prune_k,
+                                timeout=args.timeout,
+                                unroll_depth=args.unroll, proc_names=names)
+        for w in report.warnings:
+            print(str(w), file=out)
+        for name in report.timed_out:
+            print(f"[TIMEOUT] {name}", file=out)
+        return 1 if report.warnings else 0
+
+    configs = [BY_NAME[n] for n in (args.configs or ["Conc"])]
+    if args.proc is not None:
+        if args.proc not in program.procedures:
+            print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
+            return 2
+        proc_names = [args.proc]
+    else:
+        proc_names = [n for n, p in program.procedures.items()
+                      if p.body is not None]
+
+    any_warning = False
+    for name in proc_names:
+        for config in configs:
+            report = analyze_procedure(
+                program, name, config=config, prune_k=args.prune_k,
+                timeout=args.timeout, unroll_depth=args.unroll)
+            header = f"{name} [{config.name}" + \
+                (f", k={args.prune_k}" if args.prune_k is not None else "") + "]"
+            if report.timed_out:
+                print(f"{header}: TIMEOUT", file=out)
+                continue
+            print(f"{header}: {report.status}", file=out)
+            if args.show_cons and report.conservative_warnings:
+                print(f"  conservative warnings: "
+                      f"{', '.join(report.conservative_warnings)}", file=out)
+            for spec in report.specs:
+                print(f"  almost-correct spec: {spec}", file=out)
+            for w in report.warnings:
+                any_warning = True
+                print(f"  WARNING {w}", file=out)
+    return 1 if any_warning else 0
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())

@@ -1,0 +1,43 @@
+"""The paper's contribution: abstract semantic inconsistency bugs and
+almost-correct specifications (ACSpec)."""
+
+from .acspec import AcspecResult, find_almost_correct_specs
+from .analysis import (ProcedureReport, ProgramReport, analyze_procedure,
+                       analyze_program, conservative_program)
+from .checker import CheckResult, check_procedure
+from .clauses import (ClauseSet, QClause, clause_formula, clause_set_formula,
+                      normalize, prune_clauses)
+from .config import A0, A1, A2, ALL_CONFIGS, BY_NAME, CONC, AbstractionConfig
+from .cover import predicate_cover
+from .deadfail import AnalysisTimeout, Budget, DeadFailOracle
+from .predicates import mine_predicates
+from .sib import SibResult, SibStatus, find_abstract_sibs
+
+__all__ = [
+    "AcspecResult", "find_almost_correct_specs",
+    "ProcedureReport", "ProgramReport", "analyze_procedure",
+    "analyze_program", "conservative_program",
+    "CheckResult", "check_procedure",
+    "ClauseSet", "QClause", "clause_formula", "clause_set_formula",
+    "normalize", "prune_clauses",
+    "A0", "A1", "A2", "ALL_CONFIGS", "BY_NAME", "CONC", "AbstractionConfig",
+    "predicate_cover",
+    "AnalysisTimeout", "Budget", "DeadFailOracle",
+    "mine_predicates",
+    "SibResult", "SibStatus", "find_abstract_sibs",
+]
+
+# Extensions beyond the paper's prototype (motivated by its §6/§7):
+from .doomed import DoomedReport, find_doomed
+from .interproc import (InterprocResult, analyze_program_interprocedural,
+                        infer_contracts, strengthen_program)
+from .report import TriagedWarning, TriageReport, triage_program, witness_path
+from .zranking import RankedAlarm, precision_at_k, z_rank
+
+__all__ += [
+    "DoomedReport", "find_doomed",
+    "InterprocResult", "analyze_program_interprocedural",
+    "infer_contracts", "strengthen_program",
+    "TriagedWarning", "TriageReport", "triage_program", "witness_path",
+    "RankedAlarm", "precision_at_k", "z_rank",
+]

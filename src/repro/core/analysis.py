@@ -1,0 +1,135 @@
+"""High-level driver: the public face of ACSpec.
+
+``analyze_procedure`` runs one procedure under one configuration with
+timeout accounting; ``analyze_program`` sweeps every procedure of a
+program and aggregates the per-benchmark numbers the paper's tables use
+(warning counts, timeouts, predicates/clauses/time per procedure).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..lang.ast import Program
+from ..smt.allsat import AllSatBudgetExceeded
+from ..smt.theories.lia import LiaBudgetExceeded
+from .acspec import _SearchBudgetExceeded
+from .checker import check_procedure
+from .config import AbstractionConfig, CONC
+from .deadfail import AnalysisTimeout, Budget
+from .sib import SibResult, SibStatus, find_abstract_sibs
+
+_BUDGET_ERRORS = (AnalysisTimeout, LiaBudgetExceeded, AllSatBudgetExceeded,
+                  _SearchBudgetExceeded, RecursionError)
+
+
+@dataclass
+class ProcedureReport:
+    proc_name: str
+    config_name: str
+    timed_out: bool = False
+    status: str = SibStatus.CORRECT
+    warnings: list = field(default_factory=list)
+    conservative_warnings: list = field(default_factory=list)
+    specs: list = field(default_factory=list)
+    n_preds: int = 0
+    n_cover_clauses: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ProgramReport:
+    config_name: str
+    prune_k: int | None
+    reports: list = field(default_factory=list)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(len(r.warnings) for r in self.reports if not r.timed_out)
+
+    @property
+    def n_conservative(self) -> int:
+        return sum(len(r.conservative_warnings) for r in self.reports
+                   if not r.timed_out)
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(1 for r in self.reports if r.timed_out)
+
+    @property
+    def warned_procs(self) -> list[str]:
+        return [r.proc_name for r in self.reports if r.warnings]
+
+    def avg(self, attr: str) -> float:
+        vals = [getattr(r, attr) for r in self.reports if not r.timed_out]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def analyze_procedure(program: Program, proc_name: str,
+                      config: AbstractionConfig = CONC,
+                      prune_k: int | None = None,
+                      timeout: float | None = 10.0,
+                      unroll_depth: int = 2,
+                      max_preds: int = 12,
+                      lia_budget: int = 20000) -> ProcedureReport:
+    """Analyze one procedure; budget exhaustion yields ``timed_out``."""
+    start = time.monotonic()
+    report = ProcedureReport(proc_name=proc_name, config_name=config.name)
+    budget = Budget(timeout)
+    try:
+        res: SibResult = find_abstract_sibs(
+            program, proc_name, config=config, prune_k=prune_k,
+            budget=budget, unroll_depth=unroll_depth, max_preds=max_preds,
+            lia_budget=lia_budget)
+        report.status = res.status
+        report.warnings = res.warnings
+        report.conservative_warnings = res.conservative_warnings
+        report.specs = res.specs
+        report.n_preds = len(res.preds)
+        report.n_cover_clauses = res.n_cover_clauses
+    except _BUDGET_ERRORS:
+        report.timed_out = True
+    report.seconds = time.monotonic() - start
+    return report
+
+
+def analyze_program(program: Program,
+                    config: AbstractionConfig = CONC,
+                    prune_k: int | None = None,
+                    timeout: float | None = 10.0,
+                    unroll_depth: int = 2,
+                    max_preds: int = 12,
+                    lia_budget: int = 20000,
+                    proc_names: list[str] | None = None) -> ProgramReport:
+    """Analyze every procedure with a body."""
+    out = ProgramReport(config_name=config.name, prune_k=prune_k)
+    names = proc_names if proc_names is not None else [
+        name for name, p in program.procedures.items() if p.body is not None]
+    for name in names:
+        out.reports.append(analyze_procedure(
+            program, name, config=config, prune_k=prune_k, timeout=timeout,
+            unroll_depth=unroll_depth, max_preds=max_preds,
+            lia_budget=lia_budget))
+    return out
+
+
+def conservative_program(program: Program, timeout: float | None = 10.0,
+                         unroll_depth: int = 2,
+                         lia_budget: int = 20000,
+                         proc_names: list[str] | None = None):
+    """The Cons baseline over a program: (per-proc warning lists, timeouts)."""
+    warnings: dict[str, list] = {}
+    timeouts = 0
+    names = proc_names if proc_names is not None else [
+        name for name, p in program.procedures.items() if p.body is not None]
+    for name in names:
+        try:
+            res = check_procedure(program, name, budget=Budget(timeout),
+                                  unroll_depth=unroll_depth,
+                                  lia_budget=lia_budget)
+            warnings[name] = res.warnings
+        except _BUDGET_ERRORS:
+            timeouts += 1
+            warnings[name] = []
+    return warnings, timeouts

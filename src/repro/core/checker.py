@@ -1,0 +1,43 @@
+"""The conservative modular verifier baseline ("Cons" in §5).
+
+A sound and precise modular checker assumes the most demonic environment
+allowed by the (absent) specifications: it reports every assertion that
+can fail from *some* input state — ``Fail(true)`` — which is exactly what
+Boogie would report for these procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import Procedure, Program
+from ..lang.transform import prepare_procedure
+from ..vc.encode import EncodedProcedure
+from .deadfail import Budget, DeadFailOracle
+
+
+@dataclass
+class CheckResult:
+    proc_name: str
+    warnings: list = field(default_factory=list)
+    n_asserts: int = 0
+
+    @property
+    def verified(self) -> bool:
+        return not self.warnings
+
+
+def check_procedure(program: Program, proc: Procedure | str,
+                    budget: Budget | None = None,
+                    unroll_depth: int = 2,
+                    lia_budget: int = 20000) -> CheckResult:
+    """Run the conservative verifier on one procedure."""
+    if isinstance(proc, str):
+        proc = program.proc(proc)
+    prepared = prepare_procedure(program, proc, unroll_depth=unroll_depth)
+    enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
+    oracle = DeadFailOracle(enc, [], budget=budget)
+    fails = oracle.conservative_fail()
+    return CheckResult(proc_name=proc.name,
+                       warnings=oracle.labels_of(fails),
+                       n_asserts=len(enc.assert_events))

@@ -1,0 +1,39 @@
+"""The four abstract configurations of Figure 4.
+
+Two independent abstraction knobs restrict the predicate vocabulary Q:
+
+* **ignore conditionals** (§4.4.2) — branch conditions contribute no
+  predicates (the conditional is treated as nondeterministic during
+  predicate collection);
+* **havoc returns** (§4.4.3) — call-modified variables are havocked
+  instead of bound to fresh ``lam$`` symbolic constants, so no predicates
+  about callee effects survive (this knob changes the elaborated program,
+  not just the mining).
+
+Their product yields the four configurations::
+
+             conditionals kept     conditionals ignored
+  lam$ consts       Conc                  A1
+  havocked          A0                    A2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AbstractionConfig:
+    name: str
+    ignore_conditionals: bool
+    havoc_returns: bool
+
+
+CONC = AbstractionConfig("Conc", ignore_conditionals=False, havoc_returns=False)
+A0 = AbstractionConfig("A0", ignore_conditionals=False, havoc_returns=True)
+A1 = AbstractionConfig("A1", ignore_conditionals=True, havoc_returns=False)
+A2 = AbstractionConfig("A2", ignore_conditionals=True, havoc_returns=True)
+
+ALL_CONFIGS = (CONC, A0, A1, A2)
+
+BY_NAME = {c.name: c for c in ALL_CONFIGS}

@@ -1,0 +1,236 @@
+"""The Dead/Fail oracle (§2.3) over the incremental path encoding.
+
+For an input-state specification ``f``:
+
+* ``Fail(f)``  — assertions that can be the *first* failure on some
+  execution from a state in ``f``;
+* ``Dead(f)`` — instrumented locations reachable from no state in ``f``.
+
+Specifications come in two shapes: clause sets over the mined predicate
+vocabulary (used throughout the Algorithm-2 search; each Q-clause gets a
+reusable indicator literal) and raw formulas (used for ``true`` and for
+ad-hoc specs in tests).  All queries are SAT checks under assumptions on
+one shared solver, with memoization per clause set.
+
+Per §2.3, locations dead already under ``true`` are removed from the
+location set before the analysis starts (``Dead(true) = {}`` assumption).
+
+A wall-clock budget can be attached; it is checked before each solver
+query and makes the whole per-procedure analysis abort with
+:class:`AnalysisTimeout` — the paper's TO accounting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..lang.ast import Formula, TRUE
+from ..vc.encode import EncodedProcedure
+from .clauses import ClauseSet, QClause, clause_formula
+
+
+class AnalysisTimeout(Exception):
+    """Raised when the per-procedure time budget is exhausted."""
+
+
+class Budget:
+    def __init__(self, seconds: float | None):
+        self.seconds = seconds
+        self.deadline = None if seconds is None else time.monotonic() + seconds
+
+    def check(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise AnalysisTimeout()
+
+
+class DeadFailOracle:
+    def __init__(self, enc: EncodedProcedure, preds: list[Formula],
+                 budget: Budget | None = None,
+                 dead_through_failures: bool = True):
+        """``dead_through_failures`` selects the reachability semantics of
+        Dead(): the default matches the paper's implementation (assertion
+        failures do not block control flow); False gives the strict
+        failure-terminates reading of §2.3 (see DESIGN.md and the
+        dead-semantics ablation benchmark)."""
+        self.enc = enc
+        self.preds = preds
+        self.budget = budget if budget is not None else Budget(None)
+        self.dead_through_failures = dead_through_failures
+        self._clause_ind: dict[QClause, int] = {}
+        self._fail_cache: dict[ClauseSet, frozenset] = {}
+        self._dead_cache: dict[ClauseSet, frozenset] = {}
+        self.queries = 0
+        # §2.3: remove Dead(true) from the location set up front.
+        self._live_locs = self._live_under_true()
+        self.baseline_dead = frozenset(
+            ev.loc_id for ev in enc.loc_events
+            if ev.loc_id not in self._live_locs)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _check(self, assumptions: list[int]) -> str:
+        self.budget.check()
+        self.queries += 1
+        return self.enc.solver.check(assumptions)
+
+    def pred_lit(self, idx: int) -> int:
+        """SAT literal equivalent to predicate ``preds[idx]`` at entry."""
+        return self.enc.spec_indicator(self.preds[idx])
+
+    def clause_ind(self, clause: QClause) -> int:
+        """Indicator literal asserting the Q-clause at the entry state."""
+        lit = self._clause_ind.get(clause)
+        if lit is None:
+            fm = clause_formula(clause, self.preds)
+            lit = self.enc.solver.lit_for(self.enc.encode_formula(fm))
+            self._clause_ind[clause] = lit
+        return lit
+
+    def _spec_assumptions(self, clauses: ClauseSet) -> list[int]:
+        return [self.clause_ind(c) for c in
+                sorted(clauses, key=lambda c: sorted(c, key=abs))]
+
+    # ------------------------------------------------------------------
+    # baseline
+    # ------------------------------------------------------------------
+
+    def _reach(self, loc_id: int) -> list[int]:
+        return self.enc.reach_assumptions(
+            loc_id, through_failures=self.dead_through_failures)
+
+    def _live_under_true(self) -> frozenset:
+        live = set()
+        for ev in self.enc.loc_events:
+            if self._check(self._reach(ev.loc_id)) == "sat":
+                live.add(ev.loc_id)
+        return frozenset(live)
+
+    # ------------------------------------------------------------------
+    # Fail / Dead over clause sets
+    # ------------------------------------------------------------------
+
+    def fail_set(self, clauses: ClauseSet) -> frozenset:
+        key = frozenset(clauses)
+        hit = self._fail_cache.get(key)
+        if hit is not None:
+            return hit
+        spec = self._spec_assumptions(key)
+        out = set()
+        for ev in self.enc.assert_events:
+            if self._check(spec + self.enc.fail_assumptions(ev.aid)) == "sat":
+                out.add(ev.aid)
+        result = frozenset(out)
+        self._fail_cache[key] = result
+        return result
+
+    def dead_set(self, clauses: ClauseSet) -> frozenset:
+        key = frozenset(clauses)
+        hit = self._dead_cache.get(key)
+        if hit is not None:
+            return hit
+        spec = self._spec_assumptions(key)
+        out = set()
+        for loc in sorted(self._live_locs):
+            if self._check(spec + self._reach(loc)) == "unsat":
+                out.add(loc)
+        result = frozenset(out)
+        self._dead_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Fail / Dead over raw formulas
+    # ------------------------------------------------------------------
+
+    def fail_set_formula(self, spec: Formula) -> frozenset:
+        ind = [] if spec is TRUE else [self.enc.spec_indicator(spec)]
+        out = set()
+        for ev in self.enc.assert_events:
+            if self._check(ind + self.enc.fail_assumptions(ev.aid)) == "sat":
+                out.add(ev.aid)
+        return frozenset(out)
+
+    def dead_set_formula(self, spec: Formula) -> frozenset:
+        ind = [] if spec is TRUE else [self.enc.spec_indicator(spec)]
+        out = set()
+        for loc in sorted(self._live_locs):
+            if self._check(ind + self._reach(loc)) == "unsat":
+                out.add(loc)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # semantic clause simplification (display aid)
+    # ------------------------------------------------------------------
+
+    def simplify_clauses(self, clauses: ClauseSet) -> ClauseSet:
+        """Semantics-preserving minimization of a clause set.
+
+        Purely propositional normalization (§4.3) cannot exploit *theory*
+        facts (e.g. that the cube ``c == buf && Freed[c] == 0 &&
+        Freed[buf] != 0`` is empty).  Two solver-backed passes, iterated
+        to fixpoint, recover the compact forms the paper displays (the
+        Figure 1 spec prints as the three conjuncts
+        ``!Freed[c] && !Freed[buf] && c != buf``):
+
+        1. *literal minimization* — replace a clause by a sub-clause the
+           whole set already entails;
+        2. *redundant-clause elimination* — drop clauses entailed by the
+           remaining ones.
+        """
+        current = frozenset(clauses)
+        for _ in range(8):
+            shrunk = self._minimize_literals(current)
+            pruned = self._drop_entailed(shrunk)
+            if pruned == current:
+                return pruned
+            current = pruned
+        return current
+
+    def _entails(self, clauses, sub_clause) -> bool:
+        """Does the clause set entail the (sub-)clause?"""
+        assumptions = [self.clause_ind(c) for c in clauses]
+        for lit in sub_clause:
+            p = self.pred_lit(abs(lit) - 1)
+            assumptions.append(-p if lit > 0 else p)
+        self.budget.check()
+        self.queries += 1
+        return self.enc.solver.check(assumptions) == "unsat"
+
+    def _minimize_literals(self, clauses: ClauseSet) -> ClauseSet:
+        out: set[QClause] = set()
+        for clause in sorted(clauses, key=lambda c: (len(c),
+                                                     sorted(c, key=abs))):
+            reduced = clause
+            for lit in sorted(clause, key=abs):
+                if len(reduced) == 1:
+                    break
+                candidate = reduced - {lit}
+                if self._entails(clauses, candidate):
+                    reduced = candidate
+            out.add(reduced)
+        return frozenset(out)
+
+    def _drop_entailed(self, clauses: ClauseSet) -> ClauseSet:
+        current = list(sorted(clauses, key=lambda c: (-len(c),
+                                                      sorted(c, key=abs))))
+        kept: list[QClause] = []
+        for i, clause in enumerate(current):
+            rest = kept + current[i + 1:]
+            if not self._entails(rest, clause):
+                kept.append(clause)
+        return frozenset(kept)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    def conservative_fail(self) -> frozenset:
+        """``Fail(true)`` — what the sound modular verifier reports."""
+        return self.fail_set(frozenset())
+
+    def labels_of(self, aids: frozenset) -> list[str]:
+        by_aid = {ev.aid: ev.label for ev in self.enc.assert_events}
+        # Continuation duplication can give one source assertion several
+        # aids; reporting dedupes by label.
+        return sorted({by_aid[a] for a in aids})

@@ -1,0 +1,318 @@
+"""Predicate mining (§4.4): collecting the vocabulary Q for a procedure.
+
+``Preds(s, Q)`` mirrors the ``wp`` transformer syntactically:
+
+====================  ==========================================
+statement             result
+====================  ==========================================
+``skip``              Q
+``assume f``          Atoms(f) ∪ Q
+``assert f``          Atoms(f) ∪ Q
+``x := e``            Atoms(Q[e/x])
+``havoc x``           Drop(Q, x)
+``s; t``              Preds(s, Preds(t, Q))
+``if c then s else t``  Atoms(c) ∪ Preds(s, Q) ∪ Preds(t, Q)
+====================  ==========================================
+
+Map assignments substitute a ``store`` term; the resulting
+``select(store(...))`` patterns are removed by *write elimination*
+(rewriting to conditionals, §4.4.1), after which embedded conditional
+expressions are lifted into boolean structure so that atoms like
+``e1 == e3`` become visible — exactly the mechanism that makes
+``c != buf`` appear in the Figure 1 weakest precondition.
+
+The *ignore conditionals* abstraction (§4.4.2) treats every branch
+condition as nondeterministic during collection: ``Atoms(c)`` is skipped
+and, because the havoced selector variable is fresh, nothing else is
+dropped.  The *havoc returns* abstraction (§4.4.3) acts earlier, in call
+elaboration, so this module simply sees havocs.
+
+Finally, Q is restricted to the *entry vocabulary*: atoms whose variables
+are parameters, globals, or ``lam$`` constants.  (Atoms over locals or
+havoc-fresh variables cannot appear in an environment specification.)
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (AndExpr, AssertStmt, AssignStmt, AssumeStmt,
+                        BinExpr, BoolLit, Expr, Formula, FunAppExpr,
+                        HavocStmt, IffExpr, IfStmt, ImpliesExpr, IntLit,
+                        IteExpr, LocationStmt, MapAssignStmt, NegExpr,
+                        NotExpr, OrExpr, PredAppExpr, Procedure, Program,
+                        RelExpr, SelectExpr, SeqStmt, SkipStmt, Stmt,
+                        StoreExpr, VarExpr, formula_vars, mk_and, mk_not,
+                        mk_or)
+from ..lang.subst import subst_formula
+from ..lang.transform import is_lambda_const
+
+
+# ======================================================================
+# write elimination and ite lifting
+# ======================================================================
+
+
+def write_elim_expr(e: Expr) -> Expr:
+    """Rewrite ``select(store(m, i, v), j)`` to ``ite(i == j, v, select(m, j))``
+    bottom-up, to fixpoint."""
+    if isinstance(e, (VarExpr, IntLit)):
+        return e
+    if isinstance(e, BinExpr):
+        return BinExpr(e.op, write_elim_expr(e.lhs), write_elim_expr(e.rhs))
+    if isinstance(e, NegExpr):
+        return NegExpr(write_elim_expr(e.arg))
+    if isinstance(e, SelectExpr):
+        m = write_elim_expr(e.map)
+        idx = write_elim_expr(e.index)
+        return _push_select(m, idx)
+    if isinstance(e, StoreExpr):
+        return StoreExpr(write_elim_expr(e.map), write_elim_expr(e.index),
+                         write_elim_expr(e.value))
+    if isinstance(e, FunAppExpr):
+        return FunAppExpr(e.name, tuple(write_elim_expr(a) for a in e.args))
+    if isinstance(e, IteExpr):
+        return IteExpr(write_elim_formula(e.cond), write_elim_expr(e.then),
+                       write_elim_expr(e.els))
+    raise AssertionError(f"unknown expr {e!r}")
+
+
+def _push_select(m: Expr, idx: Expr) -> Expr:
+    if isinstance(m, StoreExpr):
+        inner = _push_select(m.map, idx)
+        cond = RelExpr("==", idx, m.index)
+        if idx == m.index:
+            return m.value
+        return IteExpr(cond, m.value, inner)
+    if isinstance(m, IteExpr):
+        return IteExpr(m.cond, _push_select(m.then, idx), _push_select(m.els, idx))
+    return SelectExpr(m, idx)
+
+
+def write_elim_formula(f: Formula) -> Formula:
+    if isinstance(f, BoolLit):
+        return f
+    if isinstance(f, RelExpr):
+        return RelExpr(f.op, write_elim_expr(f.lhs), write_elim_expr(f.rhs))
+    if isinstance(f, PredAppExpr):
+        return PredAppExpr(f.name, tuple(write_elim_expr(a) for a in f.args))
+    if isinstance(f, NotExpr):
+        return mk_not(write_elim_formula(f.arg))
+    if isinstance(f, AndExpr):
+        return mk_and(*(write_elim_formula(a) for a in f.args))
+    if isinstance(f, OrExpr):
+        return mk_or(*(write_elim_formula(a) for a in f.args))
+    if isinstance(f, ImpliesExpr):
+        return ImpliesExpr(write_elim_formula(f.lhs), write_elim_formula(f.rhs))
+    if isinstance(f, IffExpr):
+        return IffExpr(write_elim_formula(f.lhs), write_elim_formula(f.rhs))
+    raise AssertionError(f"unknown formula {f!r}")
+
+
+def _find_ite(e: Expr) -> IteExpr | None:
+    if isinstance(e, IteExpr):
+        return e
+    if isinstance(e, BinExpr):
+        return _find_ite(e.lhs) or _find_ite(e.rhs)
+    if isinstance(e, NegExpr):
+        return _find_ite(e.arg)
+    if isinstance(e, SelectExpr):
+        return _find_ite(e.map) or _find_ite(e.index)
+    if isinstance(e, StoreExpr):
+        return _find_ite(e.map) or _find_ite(e.index) or _find_ite(e.value)
+    if isinstance(e, FunAppExpr):
+        for a in e.args:
+            hit = _find_ite(a)
+            if hit is not None:
+                return hit
+    return None
+
+
+def _replace_ite(e: Expr, target: IteExpr, repl: Expr) -> Expr:
+    if e == target:
+        return repl
+    if isinstance(e, (VarExpr, IntLit)):
+        return e
+    if isinstance(e, BinExpr):
+        return BinExpr(e.op, _replace_ite(e.lhs, target, repl),
+                       _replace_ite(e.rhs, target, repl))
+    if isinstance(e, NegExpr):
+        return NegExpr(_replace_ite(e.arg, target, repl))
+    if isinstance(e, SelectExpr):
+        return SelectExpr(_replace_ite(e.map, target, repl),
+                          _replace_ite(e.index, target, repl))
+    if isinstance(e, StoreExpr):
+        return StoreExpr(_replace_ite(e.map, target, repl),
+                         _replace_ite(e.index, target, repl),
+                         _replace_ite(e.value, target, repl))
+    if isinstance(e, FunAppExpr):
+        return FunAppExpr(e.name, tuple(_replace_ite(a, target, repl)
+                                        for a in e.args))
+    if isinstance(e, IteExpr):
+        return IteExpr(e.cond, _replace_ite(e.then, target, repl),
+                       _replace_ite(e.els, target, repl))
+    raise AssertionError(f"unknown expr {e!r}")
+
+
+def lift_ites(f: Formula) -> Formula:
+    """Lift embedded conditional expressions into boolean structure:
+    an atom ``p(..ite(c,a,b)..)`` becomes
+    ``(c && p(..a..)) || (!c && p(..b..))``."""
+    if isinstance(f, BoolLit):
+        return f
+    if isinstance(f, (RelExpr, PredAppExpr)):
+        exprs = (f.lhs, f.rhs) if isinstance(f, RelExpr) else f.args
+        for e in exprs:
+            ite = _find_ite(e)
+            if ite is not None:
+                then_atom = _subst_in_atom(f, ite, ite.then)
+                els_atom = _subst_in_atom(f, ite, ite.els)
+                return lift_ites(mk_or(mk_and(ite.cond, then_atom),
+                                       mk_and(mk_not(ite.cond), els_atom)))
+        return f
+    if isinstance(f, NotExpr):
+        return mk_not(lift_ites(f.arg))
+    if isinstance(f, AndExpr):
+        return mk_and(*(lift_ites(a) for a in f.args))
+    if isinstance(f, OrExpr):
+        return mk_or(*(lift_ites(a) for a in f.args))
+    if isinstance(f, ImpliesExpr):
+        return ImpliesExpr(lift_ites(f.lhs), lift_ites(f.rhs))
+    if isinstance(f, IffExpr):
+        return IffExpr(lift_ites(f.lhs), lift_ites(f.rhs))
+    raise AssertionError(f"unknown formula {f!r}")
+
+
+def _subst_in_atom(f: Formula, target: IteExpr, repl: Expr) -> Formula:
+    if isinstance(f, RelExpr):
+        return RelExpr(f.op, _replace_ite(f.lhs, target, repl),
+                       _replace_ite(f.rhs, target, repl))
+    if isinstance(f, PredAppExpr):
+        return PredAppExpr(f.name, tuple(_replace_ite(a, target, repl)
+                                         for a in f.args))
+    raise AssertionError("atom expected")
+
+
+# ======================================================================
+# atom collection
+# ======================================================================
+
+
+def atoms(f: Formula) -> frozenset:
+    """The atomic formulas of ``f`` (after write elimination and ite
+    lifting), with trivial and negation-duplicate atoms canonicalized."""
+    f = lift_ites(write_elim_formula(f))
+    out: set = set()
+    _atoms(f, out)
+    return frozenset(out)
+
+
+def _atoms(f: Formula, out: set) -> None:
+    if isinstance(f, BoolLit):
+        return
+    if isinstance(f, (RelExpr, PredAppExpr)):
+        out.add(canon_atom(f))
+        return
+    if isinstance(f, NotExpr):
+        _atoms(f.arg, out)
+        return
+    if isinstance(f, (AndExpr, OrExpr)):
+        for a in f.args:
+            _atoms(a, out)
+        return
+    if isinstance(f, (ImpliesExpr, IffExpr)):
+        _atoms(f.lhs, out)
+        _atoms(f.rhs, out)
+        return
+    raise AssertionError(f"unknown formula {f!r}")
+
+
+_FLIP = {"!=": "==", ">": "<", ">=": "<="}
+
+
+def canon_atom(f: Formula) -> Formula:
+    """Canonicalize an atom so that an atom and its negation collapse:
+    ``!=`` becomes ``==``, ``>``/``>=`` become ``<``/``<=`` (swapped), and
+    symmetric operands of ``==`` are ordered deterministically."""
+    if isinstance(f, RelExpr):
+        op, lhs, rhs = f.op, f.lhs, f.rhs
+        if op in _FLIP:
+            if op == "!=":
+                op = "=="
+            else:
+                op = _FLIP[op]
+                lhs, rhs = rhs, lhs
+        if op == "==" and repr(rhs) < repr(lhs):
+            lhs, rhs = rhs, lhs
+        return RelExpr(op, lhs, rhs)
+    return f
+
+
+# ======================================================================
+# the Preds transformer
+# ======================================================================
+
+
+def preds(s: Stmt, q: frozenset, ignore_conditionals: bool = False) -> frozenset:
+    if isinstance(s, (SkipStmt, LocationStmt)):
+        return q
+    if isinstance(s, (AssumeStmt, AssertStmt)):
+        return atoms(s.formula) | q
+    if isinstance(s, AssignStmt):
+        return _subst_atoms(q, {s.var: s.expr})
+    if isinstance(s, MapAssignStmt):
+        store = StoreExpr(VarExpr(s.map), s.index, s.value)
+        return _subst_atoms(q, {s.map: store})
+    if isinstance(s, HavocStmt):
+        return drop(q, set(s.vars))
+    if isinstance(s, SeqStmt):
+        out = q
+        for c in reversed(s.stmts):
+            out = preds(c, out, ignore_conditionals)
+        return out
+    if isinstance(s, IfStmt):
+        out = preds(s.then, q, ignore_conditionals) | \
+            preds(s.els, q, ignore_conditionals)
+        if s.cond is not None and not ignore_conditionals:
+            out = out | atoms(s.cond)
+        return out
+    raise ValueError(
+        f"preds is defined on the lowered core only, got {type(s).__name__}")
+
+
+def _subst_atoms(q: frozenset, mapping: dict) -> frozenset:
+    out: set = set()
+    for atom in q:
+        out |= atoms(subst_formula(atom, mapping))
+    return frozenset(out)
+
+
+def drop(q: frozenset, names: set[str]) -> frozenset:
+    """``Drop(Q, x)``: remove atoms that mention any of the given names."""
+    return frozenset(a for a in q if not (formula_vars(a) & names))
+
+
+# ======================================================================
+# entry point
+# ======================================================================
+
+
+def mine_predicates(program: Program, proc: Procedure,
+                    ignore_conditionals: bool = False,
+                    max_preds: int | None = None) -> list[Formula]:
+    """Q for a *prepared* procedure (§4.4.1 with the §4.4.2 knob).
+
+    The result is restricted to the entry vocabulary and ordered
+    deterministically.  ``max_preds`` optionally truncates oversized
+    vocabularies (cover enumeration is exponential in |Q|); truncation is
+    reported by the analysis layer as a budget event.
+    """
+    if proc.body is None:
+        return []
+    q = preds(proc.body, frozenset(), ignore_conditionals)
+    entry_ok = set(proc.params) | set(program.globals) | {
+        name for name in proc.var_types if is_lambda_const(name)}
+    filtered = [a for a in q if formula_vars(a) and
+                formula_vars(a) <= entry_ok]
+    filtered.sort(key=lambda a: repr(a))
+    if max_preds is not None and len(filtered) > max_preds:
+        filtered = filtered[:max_preds]
+    return filtered

@@ -1,0 +1,138 @@
+"""Warning reports: witness paths and program-level triage.
+
+The paper motivates the whole framework with *triage*: "reporting a
+high-confidence subset of the assertion failures".  This module turns the
+per-configuration results into exactly that ordering:
+
+1. **DOOMED** — fails on every reaching execution (related work [15];
+   a special case of SIBs, unarguable);
+2. **HIGH** — reported by the concrete configuration (semantic
+   inconsistency bugs);
+3. **MEDIUM** — reported first by A1 (abstract SIBs over the
+   ignore-conditionals vocabulary);
+4. **LOW** — reported only by A2 (the coarsest vocabulary).
+
+Each warning can carry a *witness path*: the branch decisions of one
+concrete failing execution, extracted from the SAT model of the
+first-failure query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import Program
+from ..vc.encode import EncodedProcedure
+from .analysis import _BUDGET_ERRORS
+from .config import A1, A2, CONC
+from .deadfail import Budget
+from .doomed import find_doomed
+from .sib import find_abstract_sibs
+
+
+def witness_path(enc: EncodedProcedure, aid: int,
+                 with_values: bool = True) -> list[str] | None:
+    """A readable witness for "assertion ``aid`` is the first failure":
+    the sequence of location/assertion events on one failing execution,
+    optionally preceded by concrete entry-state values extracted from the
+    solver model.
+
+    Returns None when the failure is infeasible.
+    """
+    assumptions = enc.fail_assumptions(aid)
+    if enc.solver.check(assumptions) != "sat":
+        return None
+    events: list[tuple[int, str]] = []
+    if with_values:
+        from ..smt.model import extract_model
+        model = extract_model(enc.solver)
+        if model is not None:
+            shown = []
+            for name in sorted(enc.entry_env):
+                if name in model.var_values and not name.startswith(
+                        ("pc!", "nd!", "ite!")):
+                    shown.append(f"{name}={model.var_values[name]}")
+            if shown:
+                events.append((-1, "entry state: " + ", ".join(shown)))
+    target = next(e for e in enc.assert_events if e.aid == aid)
+    for ev in enc.loc_events:
+        if ev.order >= target.order:
+            continue  # execution stops at the failing assertion
+        val = enc.solver.sat.value(ev.reach_lit)
+        if val is True:
+            events.append((ev.order, f"reach loc {ev.loc_id} ({ev.describes})"))
+    for ev in enc.assert_events:
+        if ev.order >= target.order:
+            break
+        if enc.solver.sat.value(ev.pass_lit) is True:
+            events.append((ev.order, f"pass   {ev.label}"))
+    events.append((target.order, f"FAIL   {target.label}"))
+    events.sort()
+    return [text for _, text in events]
+
+
+@dataclass
+class TriagedWarning:
+    proc_name: str
+    label: str
+    confidence: str           # DOOMED | HIGH | MEDIUM | LOW
+    configs: list = field(default_factory=list)
+    spec: str = ""            # the almost-correct spec that revealed it
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        via = ", ".join(self.configs)
+        return f"[{self.confidence:6}] {self.proc_name}:{self.label} (via {via})"
+
+
+_CONFIDENCE = [("Conc", "HIGH"), ("A1", "MEDIUM"), ("A2", "LOW")]
+
+
+@dataclass
+class TriageReport:
+    warnings: list = field(default_factory=list)
+    timed_out: list = field(default_factory=list)
+
+    def by_confidence(self, level: str) -> list:
+        return [w for w in self.warnings if w.confidence == level]
+
+
+def triage_program(program: Program, prune_k: int | None = None,
+                   timeout: float | None = 10.0,
+                   unroll_depth: int = 2, max_preds: int = 12,
+                   proc_names: list[str] | None = None) -> TriageReport:
+    """Run Conc, A1 and A2 plus the doomed-point check over a program and
+    merge the results into one confidence-ordered warning list."""
+    names = proc_names if proc_names is not None else [
+        n for n, p in program.procedures.items() if p.body is not None]
+    report = TriageReport()
+    order = {"DOOMED": 0, "HIGH": 1, "MEDIUM": 2, "LOW": 3}
+    for name in names:
+        per_label: dict[str, TriagedWarning] = {}
+        try:
+            doomed = find_doomed(program, name, budget=Budget(timeout),
+                                 unroll_depth=unroll_depth)
+            for label in doomed.doomed:
+                per_label[label] = TriagedWarning(
+                    proc_name=name, label=label, confidence="DOOMED",
+                    configs=["doomed"])
+            for config, level in ((CONC, "HIGH"), (A1, "MEDIUM"),
+                                  (A2, "LOW")):
+                res = find_abstract_sibs(
+                    program, name, config=config, prune_k=prune_k,
+                    budget=Budget(timeout), unroll_depth=unroll_depth,
+                    max_preds=max_preds)
+                for label in res.warnings:
+                    if label in per_label:
+                        per_label[label].configs.append(config.name)
+                    else:
+                        per_label[label] = TriagedWarning(
+                            proc_name=name, label=label, confidence=level,
+                            configs=[config.name],
+                            spec=res.specs[0] if res.specs else "")
+        except _BUDGET_ERRORS:
+            report.timed_out.append(name)
+            continue
+        report.warnings.extend(per_label.values())
+    report.warnings.sort(key=lambda w: (order[w.confidence], w.proc_name,
+                                        w.label))
+    return report

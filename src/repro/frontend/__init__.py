@@ -1,0 +1,6 @@
+"""Mini-C frontend (the HAVOC stand-in): lexer, parser, and lowering."""
+
+from .cparser import CParseError, parse_c
+from .lower import LowerError, compile_c, lower_unit
+
+__all__ = ["CParseError", "parse_c", "LowerError", "compile_c", "lower_unit"]

@@ -1,0 +1,205 @@
+"""AST for the mini-C subset accepted by the frontend.
+
+The subset covers what the paper's benchmarks exercise: ints, pointers,
+structs (fields are ints or pointers), functions, locals, assignments
+through ``*p`` / ``p->f`` / ``a[i]``, ``if``/``while``/``for``/``return``,
+calls (including the modeled allocators and ``free``), short-circuit
+``&&``/``||`` in conditions, and ``assert``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """``base`` is 'int', 'char', 'void' or 'struct <name>'; ``ptr`` is the
+    pointer depth."""
+
+    base: str
+    ptr: int = 0
+
+    def pointer(self) -> "CType":
+        return CType(self.base, self.ptr + 1)
+
+    def deref(self) -> "CType":
+        if self.ptr == 0:
+            raise ValueError(f"dereferencing non-pointer {self}")
+        return CType(self.base, self.ptr - 1)
+
+    def is_pointer(self) -> bool:
+        return self.ptr > 0
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.base + "*" * self.ptr
+
+
+INT = CType("int")
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class CInt(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class CNull(CExpr):
+    pass
+
+
+@dataclass(frozen=True)
+class CVar(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class CUnary(CExpr):
+    op: str  # '-', '!', '*'
+    arg: CExpr
+
+
+@dataclass(frozen=True)
+class CBinary(CExpr):
+    op: str  # '+', '-', '*', '/', '%', '==', '!=', '<', '<=', '>', '>=', '&&', '||'
+    lhs: CExpr
+    rhs: CExpr
+
+
+@dataclass(frozen=True)
+class CField(CExpr):
+    """``base->field`` (arrow only; the subset has no by-value structs)."""
+
+    base: CExpr
+    field: str
+
+
+@dataclass(frozen=True)
+class CIndex(CExpr):
+    base: CExpr
+    index: CExpr
+
+
+@dataclass(frozen=True)
+class CCall(CExpr):
+    name: str
+    args: tuple[CExpr, ...]
+
+
+@dataclass(frozen=True)
+class CSizeof(CExpr):
+    type: CType
+
+
+@dataclass(frozen=True)
+class CCast(CExpr):
+    type: CType
+    arg: CExpr
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class CDecl(CStmt):
+    type: CType
+    name: str
+    init: CExpr | None
+
+
+@dataclass(frozen=True)
+class CAssign(CStmt):
+    """``target`` is a CVar, CUnary('*'), CField, or CIndex lvalue."""
+
+    target: CExpr
+    value: CExpr
+
+
+@dataclass(frozen=True)
+class CExprStmt(CStmt):
+    expr: CExpr  # a call used for effect
+
+
+@dataclass(frozen=True)
+class CIf(CStmt):
+    cond: CExpr
+    then: "CBlock"
+    els: "CBlock | CIf | None"
+
+
+@dataclass(frozen=True)
+class CWhile(CStmt):
+    cond: CExpr
+    body: "CBlock"
+
+
+@dataclass(frozen=True)
+class CFor(CStmt):
+    init: CStmt | None
+    cond: CExpr | None
+    step: CStmt | None
+    body: "CBlock"
+
+
+@dataclass(frozen=True)
+class CReturn(CStmt):
+    value: CExpr | None
+
+
+@dataclass(frozen=True)
+class CAssert(CStmt):
+    cond: CExpr
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class CBlock(CStmt):
+    stmts: tuple[CStmt, ...]
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CStructDef:
+    name: str
+    fields: tuple[tuple[str, CType], ...]
+
+
+@dataclass(frozen=True)
+class CFunction:
+    name: str
+    ret: CType
+    params: tuple[tuple[str, CType], ...]
+    body: CBlock | None  # None: prototype / external
+
+
+@dataclass(frozen=True)
+class CTranslationUnit:
+    structs: dict = field(default_factory=dict)     # name -> CStructDef
+    globals: dict = field(default_factory=dict)     # name -> CType
+    functions: dict = field(default_factory=dict)   # name -> CFunction

@@ -1,0 +1,94 @@
+"""Lexer for the mini-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CLexError(SyntaxError):
+    pass
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: str  # 'id', 'int', 'punct', 'kw', 'eof'
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "int", "char", "void", "struct", "if", "else", "while", "for",
+    "return", "NULL", "sizeof",
+}
+
+PUNCT = [
+    "&&", "||", "==", "!=", "<=", ">=", "->", "++", "--", "+=", "-=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "<", ">", "+", "-", "*", "/",
+    "%", "!", "=", ".", "&",
+]
+
+
+def tokenize_c(src: str) -> list[CToken]:
+    toks: list[CToken] = []
+    i = 0
+    line = 1
+    n = len(src)
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if src.startswith("/*", i):
+            end = src.find("*/", i + 2)
+            if end < 0:
+                raise CLexError(f"unterminated comment at line {line}")
+            line += src.count("\n", i, end)
+            i = end + 2
+            continue
+        if src.startswith("#", i):  # preprocessor lines are skipped
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and src[j].isdigit():
+                j += 1
+            toks.append(CToken("int", src[i:j], line))
+            i = j
+            continue
+        if c == '"':
+            j = i + 1
+            while j < n and src[j] != '"':
+                j += 1
+            if j >= n:
+                raise CLexError(f"unterminated string at line {line}")
+            # string literals lower to an opaque nonzero constant
+            toks.append(CToken("int", "1", line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            text = src[i:j]
+            kind = "kw" if text in KEYWORDS else "id"
+            toks.append(CToken(kind, text, line))
+            i = j
+            continue
+        for p in PUNCT:
+            if src.startswith(p, i):
+                toks.append(CToken("punct", p, line))
+                i += len(p)
+                break
+        else:
+            raise CLexError(f"unexpected character {c!r} at line {line}")
+    toks.append(CToken("eof", "", line))
+    return toks

@@ -1,0 +1,541 @@
+"""Lowering mini-C to the analyzable IL, HAVOC-style (§2.1, §5).
+
+Memory model (matching the paper's figures and HAVOC's):
+
+* pointer values are integers; ``NULL`` is 0;
+* ``*p`` (for ``int*``) reads/writes the global map ``Mem`` at ``p``;
+* ``p->f`` reads/writes the per-field global map ``fld$f`` at ``p``
+  (object fields as maps indexed by object identity);
+* ``a[i]`` addresses element ``a + i``;
+* an ``assert p != 0`` labeled ``deref$<n>`` is inserted before every
+  dereference — the only automatic assertions, exactly as HAVOC inserts
+  ``x != null`` checks;
+* ``free(p)`` is *inlined as its specification*:
+  ``assert Freed[p] == 0; Freed[p] := 1`` (Figure 1's model);
+* allocators and other body-less functions stay as calls to external
+  procedures, whose elaboration later introduces the ``lam$`` symbolic
+  constants (Figure 2's environment);
+* every procedure conservatively ``modifies`` all map globals — the
+  paper's §5.1.3 explicitly attributes a class of A2 warnings to this
+  HAVOC behaviour, so we reproduce it (switchable).
+
+Short-circuit ``&&``/``||`` in conditions expand to nested conditionals —
+the expansion the paper blames for the defensive-macro false positives
+("the short-circuiting semantics of && causes us to view this as a
+conditional expression").
+
+Loops are unrolled here (depth 2 by default, as in §5): the innermost
+tail blocks deeper iterations with ``assume false``, and locations that
+this makes dead under ``true`` are excluded from the analysis baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..lang.ast import (AssertStmt, AssignStmt, AssumeStmt, BinExpr,
+                        BoolLit, Expr, Formula, FunAppExpr, HavocStmt,
+                        IfStmt, IntLit, IteExpr, MapAssignStmt, NotExpr,
+                        Procedure, Program, RelExpr, ReturnStmt,
+                        SelectExpr, SeqStmt, SkipStmt, Stmt, Type, VarExpr,
+                        mk_and, mk_not, mk_or, seq, FALSE, TRUE)
+from .cast import (CAssert, CAssign, CBinary, CBlock, CCall, CCast, CDecl,
+                   CExpr, CExprStmt, CField, CFor, CFunction, CIf, CIndex,
+                   CInt, CNull, CReturn, CSizeof, CStmt, CTranslationUnit,
+                   CType, CUnary, CVar, CWhile, INT)
+from .cparser import parse_c
+
+
+class LowerError(ValueError):
+    pass
+
+
+MEM = "Mem"
+FREED = "Freed"
+LOCKED = "Locked"
+
+
+def field_map(name: str) -> str:
+    return f"fld${name}"
+
+
+class FunctionLowerer:
+    def __init__(self, unit: CTranslationUnit, fn: CFunction,
+                 map_globals: list[str], conservative_modifies: bool,
+                 unroll_depth: int):
+        self.unit = unit
+        self.fn = fn
+        self.map_globals = map_globals
+        self.conservative_modifies = conservative_modifies
+        self.unroll_depth = unroll_depth
+        self.scopes: list[dict[str, str]] = [{}]
+        self.types: dict[str, CType] = {}
+        self.locals: list[str] = []
+        self.var_types: dict[str, str] = {}
+        self._rename = itertools.count()
+        self._deref = itertools.count(1)
+        self._freel = itertools.count(1)
+        self._lockl = {"lock": itertools.count(1),
+                       "unlock": itertools.count(1)}
+        self._userl = itertools.count(1)
+        self._tmp = itertools.count(1)
+        self.used_externals: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # scoping
+    # ------------------------------------------------------------------
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, cname: str, ctype: CType) -> str:
+        il = cname
+        if il in self.var_types:
+            il = f"{cname}${next(self._rename)}"
+        self.scopes[-1][cname] = il
+        self.types[il] = ctype
+        self.var_types[il] = Type.INT
+        return il
+
+    def lookup(self, cname: str) -> str:
+        for scope in reversed(self.scopes):
+            if cname in scope:
+                return scope[cname]
+        if cname in self.unit.globals:
+            return cname
+        raise LowerError(f"{self.fn.name}: undeclared identifier {cname!r}")
+
+    def type_of_name(self, il_name: str) -> CType:
+        if il_name in self.types:
+            return self.types[il_name]
+        if il_name in self.unit.globals:
+            return self.unit.globals[il_name]
+        return INT
+
+    def fresh_tmp(self, ctype: CType) -> str:
+        name = f"tmp${next(self._tmp)}"
+        self.locals.append(name)
+        self.types[name] = ctype
+        self.var_types[name] = Type.INT
+        return name
+
+    # ------------------------------------------------------------------
+    # expressions.  Pre-statements (deref checks, call bindings) are
+    # appended to ``pre``.
+    # ------------------------------------------------------------------
+
+    def lower_expr(self, e: CExpr, pre: list[Stmt]) -> tuple[Expr, CType]:
+        if isinstance(e, CInt):
+            return IntLit(e.value), INT
+        if isinstance(e, CNull):
+            return IntLit(0), CType("void", 1)
+        if isinstance(e, CSizeof):
+            return IntLit(1), INT
+        if isinstance(e, CCast):
+            inner, _ = self.lower_expr(e.arg, pre)
+            return inner, e.type
+        if isinstance(e, CVar):
+            il = self.lookup(e.name)
+            return VarExpr(il), self.type_of_name(il)
+        if isinstance(e, CUnary):
+            if e.op == "-":
+                inner, _ = self.lower_expr(e.arg, pre)
+                return BinExpr("-", IntLit(0), inner), INT
+            if e.op == "!":
+                fm = self.lower_cond_formula(e.arg, pre)
+                return IteExpr(fm, IntLit(0), IntLit(1)), INT
+            if e.op == "*":
+                addr, ty = self.lower_expr(e.arg, pre)
+                self.null_check(addr, pre)
+                return SelectExpr(VarExpr(MEM), addr), self._elem(ty)
+            raise LowerError(f"unsupported unary {e.op!r}")
+        if isinstance(e, CBinary):
+            if e.op in ("&&", "||") or e.op in ("==", "!=", "<", "<=", ">", ">="):
+                fm = self.lower_cond_formula(e, pre)
+                return IteExpr(fm, IntLit(1), IntLit(0)), INT
+            lhs, lty = self.lower_expr(e.lhs, pre)
+            rhs, rty = self.lower_expr(e.rhs, pre)
+            if e.op in ("+", "-"):
+                ty = lty if lty.is_pointer() else (rty if rty.is_pointer() else INT)
+                return BinExpr(e.op, lhs, rhs), ty
+            if e.op == "*":
+                return BinExpr("*", lhs, rhs), INT
+            if e.op == "/":
+                return FunAppExpr("div$", (lhs, rhs)), INT
+            if e.op == "%":
+                return FunAppExpr("mod$", (lhs, rhs)), INT
+            raise LowerError(f"unsupported binary {e.op!r}")
+        if isinstance(e, CField):
+            addr, ty = self.element_address(e.base, pre)
+            self.null_check(addr, pre)
+            fty = self._field_type(ty, e.field)
+            return SelectExpr(VarExpr(field_map(e.field)), addr), fty
+        if isinstance(e, CIndex):
+            base, ty = self.lower_expr(e.base, pre)
+            idx, _ = self.lower_expr(e.index, pre)
+            self.null_check(base, pre)
+            return SelectExpr(VarExpr(MEM), BinExpr("+", base, idx)), self._elem(ty)
+        if isinstance(e, CCall):
+            return self.lower_call(e, pre)
+        raise AssertionError(f"unknown C expr {e!r}")
+
+    def element_address(self, base: CExpr, pre: list[Stmt]) -> tuple[Expr, CType]:
+        """Address of the object whose field is accessed: for
+        ``data[i].f`` the element address ``data + i``; otherwise the
+        pointer value itself."""
+        if isinstance(base, CIndex):
+            b, ty = self.lower_expr(base.base, pre)
+            idx, _ = self.lower_expr(base.index, pre)
+            return BinExpr("+", b, idx), ty
+        e, ty = self.lower_expr(base, pre)
+        return e, ty
+
+    def _elem(self, ty: CType) -> CType:
+        return ty.deref() if ty.is_pointer() else INT
+
+    def _field_type(self, base_ty: CType, fname: str) -> CType:
+        sname = base_ty.base.removeprefix("struct ").strip()
+        sd = self.unit.structs.get(sname)
+        if sd is not None:
+            for n, t in sd.fields:
+                if n == fname:
+                    return t
+        return INT
+
+    def null_check(self, addr: Expr, pre: list[Stmt]) -> None:
+        pre.append(AssertStmt(RelExpr("!=", addr, IntLit(0)),
+                              label=f"deref${next(self._deref)}"))
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    NONDET_NAMES = frozenset({"nondet", "nondet_int", "__VERIFIER_nondet_int"})
+
+    def lower_call(self, e: CCall, pre: list[Stmt]) -> tuple[Expr, CType]:
+        from ..lang.ast import CallStmt
+        if e.name in self.NONDET_NAMES:
+            # The paper's '*' — native nondeterminism, not an external call.
+            tmp = self.fresh_tmp(INT)
+            pre.append(HavocStmt((tmp,)))
+            return VarExpr(tmp), INT
+        if e.name == "free":
+            if len(e.args) != 1:
+                raise LowerError("free takes one argument")
+            p, _ = self.lower_expr(e.args[0], pre)
+            pre.append(AssertStmt(
+                RelExpr("==", SelectExpr(VarExpr(FREED), p), IntLit(0)),
+                label=f"free${next(self._freel)}"))
+            pre.append(MapAssignStmt(FREED, p, IntLit(1)))
+            return IntLit(0), CType("void")
+        if e.name in ("lock", "unlock"):
+            # spin-lock typestate, inlined as its specification like free():
+            # lock requires unlocked, unlock requires locked.
+            if len(e.args) != 1:
+                raise LowerError(f"{e.name} takes one argument")
+            p, _ = self.lower_expr(e.args[0], pre)
+            want = IntLit(0) if e.name == "lock" else IntLit(1)
+            becomes = IntLit(1) if e.name == "lock" else IntLit(0)
+            pre.append(AssertStmt(
+                RelExpr("==", SelectExpr(VarExpr(LOCKED), p), want),
+                label=f"{e.name}${next(self._lockl[e.name])}"))
+            pre.append(MapAssignStmt(LOCKED, p, becomes))
+            return IntLit(0), CType("void")
+        # Evaluate arguments (their deref checks fire here).
+        args = [self.lower_expr(a, pre)[0] for a in e.args]
+        target = self.unit.functions.get(e.name)
+        if target is not None and target.body is not None:
+            ret_ty = target.ret
+            if ret_ty.base == "void" and ret_ty.ptr == 0:
+                pre.append(CallStmt((), e.name, tuple(args)))
+                return IntLit(0), CType("void")
+            tmp = self.fresh_tmp(ret_ty)
+            pre.append(CallStmt((tmp,), e.name, tuple(args)))
+            return VarExpr(tmp), ret_ty
+        # External (allocators, prototypes, unknown): nullary IL procedure.
+        self.used_externals.add(e.name)
+        ret_ty = target.ret if target is not None else CType("void", 1)
+        tmp = self.fresh_tmp(ret_ty)
+        pre.append(CallStmt((tmp,), e.name, ()))
+        return VarExpr(tmp), ret_ty
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+
+    def lower_cond_formula(self, e: CExpr, pre: list[Stmt]) -> Formula:
+        """A condition as a formula; only sound when short-circuiting
+        cannot skip a deref (used for expression contexts and asserts,
+        where HAVOC makes the same approximation)."""
+        if isinstance(e, CBinary) and e.op == "&&":
+            return mk_and(self.lower_cond_formula(e.lhs, pre),
+                          self.lower_cond_formula(e.rhs, pre))
+        if isinstance(e, CBinary) and e.op == "||":
+            return mk_or(self.lower_cond_formula(e.lhs, pre),
+                         self.lower_cond_formula(e.rhs, pre))
+        if isinstance(e, CUnary) and e.op == "!":
+            return mk_not(self.lower_cond_formula(e.arg, pre))
+        if isinstance(e, CBinary) and e.op in ("==", "!=", "<", "<=", ">", ">="):
+            lhs, _ = self.lower_expr(e.lhs, pre)
+            rhs, _ = self.lower_expr(e.rhs, pre)
+            return RelExpr(e.op, lhs, rhs)
+        val, _ = self.lower_expr(e, pre)
+        return RelExpr("!=", val, IntLit(0))
+
+    def lower_branch(self, cond: CExpr, then: Stmt, els: Stmt) -> Stmt:
+        """Short-circuit-correct conditional lowering: ``&&``/``||``
+        become nested conditionals (the macro-expansion view of §5.1.3)."""
+        if isinstance(cond, CBinary) and cond.op == "&&":
+            return self.lower_branch(cond.lhs,
+                                     self.lower_branch(cond.rhs, then, els),
+                                     els)
+        if isinstance(cond, CBinary) and cond.op == "||":
+            return self.lower_branch(cond.lhs, then,
+                                     self.lower_branch(cond.rhs, then, els))
+        if isinstance(cond, CUnary) and cond.op == "!":
+            return self.lower_branch(cond.arg, els, then)
+        if isinstance(cond, CCall) and cond.name in self.NONDET_NAMES:
+            return IfStmt(None, then, els)  # the paper's 'if (*)'
+        pre: list[Stmt] = []
+        fm = self.lower_cond_formula(cond, pre)
+        return seq(*pre, IfStmt(fm, then, els))
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def lower_stmt(self, s: CStmt) -> Stmt:
+        if isinstance(s, CBlock):
+            self.push_scope()
+            out = seq(*(self.lower_stmt(c) for c in s.stmts))
+            self.pop_scope()
+            return out
+        if isinstance(s, CDecl):
+            pre: list[Stmt] = []
+            init_expr = None
+            if s.init is not None:
+                init_expr, _ = self.lower_expr(s.init, pre)
+            il = self.declare(s.name, s.type)
+            self.locals.append(il)
+            if init_expr is not None:
+                pre.append(AssignStmt(il, init_expr))
+            return seq(*pre)
+        if isinstance(s, CAssign):
+            return self.lower_assign(s.target, s.value)
+        if isinstance(s, CExprStmt):
+            pre: list[Stmt] = []
+            self.lower_expr(s.expr, pre)
+            return seq(*pre)
+        if isinstance(s, CAssert):
+            pre = []
+            fm = self.lower_cond_formula(s.cond, pre)
+            label = s.label if s.label else f"user${next(self._userl)}"
+            return seq(*pre, AssertStmt(fm, label=label))
+        if isinstance(s, CIf):
+            then = self.lower_stmt(s.then)
+            els: Stmt = SkipStmt()
+            if s.els is not None:
+                els = self.lower_stmt(s.els)
+            return self.lower_branch(s.cond, then, els)
+        if isinstance(s, CWhile):
+            return self.unroll(s.cond, self.lower_stmt(s.body), None)
+        if isinstance(s, CFor):
+            init = self.lower_stmt(s.init) if s.init is not None else SkipStmt()
+            body = self.lower_stmt(s.body)
+            step = self.lower_stmt(s.step) if s.step is not None else SkipStmt()
+            return seq(init, self.unroll(s.cond, body, step))
+        if isinstance(s, CReturn):
+            pre = []
+            if s.value is not None:
+                val, _ = self.lower_expr(s.value, pre)
+                pre.append(AssignStmt("ret$", val))
+            pre.append(ReturnStmt())
+            return seq(*pre)
+        raise AssertionError(f"unknown C stmt {s!r}")
+
+    def unroll(self, cond: CExpr | None, body: Stmt, step: Stmt | None) -> Stmt:
+        """Unroll a loop ``self.unroll_depth`` times; paths needing more
+        iterations are blocked with ``assume false``."""
+        iteration = seq(body, step if step is not None else SkipStmt())
+        if cond is None:  # for(;;): treat as nondeterministic repetition
+            tail: Stmt = AssumeStmt(FALSE)
+            for _ in range(self.unroll_depth):
+                tail = IfStmt(None, seq(iteration, tail), SkipStmt())
+            return tail
+        tail = self.lower_branch(cond, AssumeStmt(FALSE), SkipStmt())
+        for _ in range(self.unroll_depth):
+            tail = self.lower_branch(cond, seq(iteration, tail), SkipStmt())
+        return tail
+
+    def lower_assign(self, target: CExpr, value: CExpr) -> Stmt:
+        pre: list[Stmt] = []
+        val, vty = self.lower_expr(value, pre)
+        if isinstance(target, CVar):
+            il = self.lookup(target.name)
+            pre.append(AssignStmt(il, val))
+            return seq(*pre)
+        if isinstance(target, CUnary) and target.op == "*":
+            addr, _ = self.lower_expr(target.arg, pre)
+            self.null_check(addr, pre)
+            pre.append(MapAssignStmt(MEM, addr, val))
+            return seq(*pre)
+        if isinstance(target, CField):
+            addr, _ = self.element_address(target.base, pre)
+            self.null_check(addr, pre)
+            pre.append(MapAssignStmt(field_map(target.field), addr, val))
+            return seq(*pre)
+        if isinstance(target, CIndex):
+            base, _ = self.lower_expr(target.base, pre)
+            idx, _ = self.lower_expr(target.index, pre)
+            self.null_check(base, pre)
+            pre.append(MapAssignStmt(MEM, BinExpr("+", base, idx), val))
+            return seq(*pre)
+        raise LowerError(f"unsupported lvalue {target!r}")
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> Procedure:
+        params: list[str] = []
+        self.push_scope()
+        for pname, pty in self.fn.params:
+            il = self.declare(pname, pty)
+            params.append(il)
+        returns: tuple[str, ...] = ()
+        if not (self.fn.ret.base == "void" and self.fn.ret.ptr == 0):
+            returns = ("ret$",)
+            self.types["ret$"] = self.fn.ret
+            self.var_types["ret$"] = Type.INT
+        body = self.lower_stmt(self.fn.body)
+        self.pop_scope()
+        var_types = dict(self.var_types)
+        modifies = tuple(self.map_globals) if self.conservative_modifies \
+            else tuple(sorted(_written_maps(body)))
+        return Procedure(name=self.fn.name, params=tuple(params),
+                         returns=returns, var_types=var_types,
+                         locals=tuple(self.locals),
+                         requires=TRUE, ensures=TRUE,
+                         modifies=modifies, body=body)
+
+
+def _written_maps(body: Stmt) -> set[str]:
+    from ..lang.ast import walk_stmts, CallStmt as ILCall
+    out: set[str] = set()
+    for node in walk_stmts(body):
+        if isinstance(node, MapAssignStmt):
+            out.add(node.map)
+    return out
+
+
+# ======================================================================
+# translation-unit lowering
+# ======================================================================
+
+
+def lower_unit(unit: CTranslationUnit, conservative_modifies: bool = True,
+               unroll_depth: int = 2) -> Program:
+    """Lower a parsed translation unit to an IL program."""
+    field_names: set[str] = set()
+    for sd in unit.structs.values():
+        for fname, _ in sd.fields:
+            field_names.add(fname)
+    # fields can also appear without a struct definition in scope
+    _collect_fields_in_use(unit, field_names)
+    globals_: dict = {MEM: Type.MAP, FREED: Type.MAP, LOCKED: Type.MAP}
+    for fname in sorted(field_names):
+        globals_[field_map(fname)] = Type.MAP
+    for gname, gty in unit.globals.items():
+        globals_[gname] = Type.INT
+    map_globals = [g for g, t in globals_.items() if t == Type.MAP]
+
+    functions = {"div$": 2, "mod$": 2}
+    procedures: dict = {}
+    used_externals: set[str] = set()
+    for fn in unit.functions.values():
+        if fn.body is None:
+            continue
+        fl = FunctionLowerer(unit, fn, map_globals, conservative_modifies,
+                             unroll_depth)
+        procedures[fn.name] = fl.lower()
+        used_externals |= fl.used_externals
+    # declare external procedures (allocators, prototypes, unknowns)
+    for name in sorted(used_externals):
+        if name in procedures:
+            # a body-less use resolved before its definition: calls were
+            # lowered as external, keep a separate external stub name
+            continue
+        procedures[name] = Procedure(
+            name=name, params=(), returns=("r",),
+            var_types={"r": Type.INT}, locals=(),
+            requires=TRUE, ensures=TRUE,
+            modifies=tuple(map_globals) if conservative_modifies else (),
+            body=None)
+    return Program(globals=globals_, functions=functions,
+                   procedures=procedures)
+
+
+def _collect_fields_in_use(unit: CTranslationUnit, out: set[str]) -> None:
+    def walk_expr(e: CExpr) -> None:
+        if isinstance(e, CField):
+            out.add(e.field)
+            walk_expr(e.base)
+        elif isinstance(e, CUnary):
+            walk_expr(e.arg)
+        elif isinstance(e, CBinary):
+            walk_expr(e.lhs)
+            walk_expr(e.rhs)
+        elif isinstance(e, CIndex):
+            walk_expr(e.base)
+            walk_expr(e.index)
+        elif isinstance(e, CCall):
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, CCast):
+            walk_expr(e.arg)
+
+    def walk_stmt(s: CStmt) -> None:
+        if isinstance(s, CBlock):
+            for c in s.stmts:
+                walk_stmt(c)
+        elif isinstance(s, CDecl) and s.init is not None:
+            walk_expr(s.init)
+        elif isinstance(s, CAssign):
+            walk_expr(s.target)
+            walk_expr(s.value)
+        elif isinstance(s, CExprStmt):
+            walk_expr(s.expr)
+        elif isinstance(s, CAssert):
+            walk_expr(s.cond)
+        elif isinstance(s, CIf):
+            walk_expr(s.cond)
+            walk_stmt(s.then)
+            if s.els is not None:
+                walk_stmt(s.els)
+        elif isinstance(s, CWhile):
+            walk_expr(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, CFor):
+            if s.init is not None:
+                walk_stmt(s.init)
+            if s.cond is not None:
+                walk_expr(s.cond)
+            if s.step is not None:
+                walk_stmt(s.step)
+            walk_stmt(s.body)
+        elif isinstance(s, CReturn) and s.value is not None:
+            walk_expr(s.value)
+
+    for fn in unit.functions.values():
+        if fn.body is not None:
+            walk_stmt(fn.body)
+
+
+def compile_c(src: str, conservative_modifies: bool = True,
+              unroll_depth: int = 2) -> Program:
+    """Parse and lower mini-C source to an analyzable IL program."""
+    from ..lang.typecheck import typecheck
+    unit = parse_c(src)
+    return typecheck(lower_unit(unit, conservative_modifies=conservative_modifies,
+                                unroll_depth=unroll_depth))

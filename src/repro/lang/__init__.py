@@ -1,0 +1,17 @@
+"""The paper's simple programming language (§2.1): AST, parser, types,
+pretty printer, reference interpreter, and lowering transformations."""
+
+from .ast import (Procedure, Program, Stmt, Expr, Formula, TRUE, FALSE,
+                  seq, asserts_in, locations_in)
+from .parser import ParseError, parse_procedure, parse_program
+from .pretty import pp_formula, pp_procedure, pp_program, pp_stmt
+from .transform import prepare_procedure
+from .typecheck import typecheck
+
+__all__ = [
+    "Procedure", "Program", "Stmt", "Expr", "Formula", "TRUE", "FALSE",
+    "seq", "asserts_in", "locations_in",
+    "ParseError", "parse_procedure", "parse_program",
+    "pp_formula", "pp_procedure", "pp_program", "pp_stmt",
+    "prepare_procedure", "typecheck",
+]

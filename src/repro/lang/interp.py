@@ -1,0 +1,230 @@
+"""A reference interpreter for the loop-free core language.
+
+The interpreter is the ground-truth oracle in the test suite: the symbolic
+encoding (``repro.vc``) and the textbook ``wp`` transformer are property-
+tested against it on randomly generated programs and inputs.
+
+Nondeterminism (``havoc``, ``if (*)``) is resolved by a *chooser* callback;
+uninterpreted functions/predicates are resolved by a deterministic hash so
+two applications to equal arguments agree.
+
+Maps are total int->int functions represented as a dict plus a default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .ast import (AndExpr, AssertStmt, AssignStmt, AssumeStmt, BinExpr,
+                  BoolLit, Expr, Formula, FunAppExpr, HavocStmt, IffExpr,
+                  IfStmt, ImpliesExpr, IntLit, IteExpr, LocationStmt,
+                  MapAssignStmt, NegExpr, NotExpr, OrExpr, PredAppExpr,
+                  Procedure, RelExpr, SelectExpr, SeqStmt, SkipStmt, Stmt,
+                  StoreExpr, Type, VarExpr)
+
+
+@dataclass
+class MapValue:
+    """A total map: explicit entries over a default."""
+
+    entries: dict = field(default_factory=dict)
+    default: int = 0
+
+    def get(self, idx: int) -> int:
+        return self.entries.get(idx, self.default)
+
+    def set(self, idx: int, val: int) -> "MapValue":
+        new = dict(self.entries)
+        new[idx] = val
+        return MapValue(new, self.default)
+
+    def copy(self) -> "MapValue":
+        return MapValue(dict(self.entries), self.default)
+
+
+class ExecStatus:
+    NORMAL = "normal"
+    ASSERT_FAIL = "assert-fail"
+    BLOCKED = "assume-blocked"
+
+
+@dataclass
+class ExecResult:
+    status: str
+    failed_assert: AssertStmt | None
+    visited_locations: set = field(default_factory=set)
+    state: dict = field(default_factory=dict)
+
+
+def _uf_value(name: str, args: tuple[int, ...]) -> int:
+    """Deterministic pseudo-random interpretation of an uninterpreted
+    function — stable across runs, congruent by construction."""
+    digest = hashlib.sha256(repr((name, args)).encode()).digest()
+    return int.from_bytes(digest[:4], "big") % 7 - 3
+
+
+class Interpreter:
+    def __init__(self, chooser: Callable[[], int] | None = None,
+                 fun_table: dict | None = None):
+        """``chooser`` supplies havoc values and nondet branch choices
+        (truthiness decides the branch).  ``fun_table`` optionally pins
+        interpretations: (name, args-tuple) -> int."""
+        self.chooser = chooser if chooser is not None else lambda: 0
+        self.fun_table = fun_table if fun_table is not None else {}
+
+    # ------------------------------------------------------------------
+    # expression / formula evaluation
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, e: Expr, state: dict):
+        if isinstance(e, VarExpr):
+            if e.name not in state:
+                raise KeyError(f"unbound variable {e.name!r}")
+            return state[e.name]
+        if isinstance(e, IntLit):
+            return e.value
+        if isinstance(e, BinExpr):
+            lv = self.eval_expr(e.lhs, state)
+            rv = self.eval_expr(e.rhs, state)
+            if e.op == "+":
+                return lv + rv
+            if e.op == "-":
+                return lv - rv
+            if e.op == "*":
+                return lv * rv
+            raise AssertionError(f"unknown binop {e.op}")
+        if isinstance(e, NegExpr):
+            return -self.eval_expr(e.arg, state)
+        if isinstance(e, SelectExpr):
+            m = self.eval_expr(e.map, state)
+            return m.get(self.eval_expr(e.index, state))
+        if isinstance(e, StoreExpr):
+            m = self.eval_expr(e.map, state)
+            return m.set(self.eval_expr(e.index, state),
+                         self.eval_expr(e.value, state))
+        if isinstance(e, FunAppExpr):
+            args = tuple(self.eval_expr(a, state) for a in e.args)
+            key = (e.name, args)
+            if key in self.fun_table:
+                return self.fun_table[key]
+            return _uf_value(e.name, args)
+        if isinstance(e, IteExpr):
+            if self.eval_formula(e.cond, state):
+                return self.eval_expr(e.then, state)
+            return self.eval_expr(e.els, state)
+        raise AssertionError(f"unknown expr {e!r}")
+
+    def eval_formula(self, f: Formula, state: dict) -> bool:
+        if isinstance(f, BoolLit):
+            return f.value
+        if isinstance(f, RelExpr):
+            lv = self.eval_expr(f.lhs, state)
+            rv = self.eval_expr(f.rhs, state)
+            if isinstance(lv, MapValue) or isinstance(rv, MapValue):
+                raise TypeError("map comparison is not supported at runtime")
+            return {"==": lv == rv, "!=": lv != rv, "<": lv < rv,
+                    "<=": lv <= rv, ">": lv > rv, ">=": lv >= rv}[f.op]
+        if isinstance(f, PredAppExpr):
+            args = tuple(self.eval_expr(a, state) for a in f.args)
+            key = (f.name, args)
+            if key in self.fun_table:
+                return bool(self.fun_table[key])
+            return _uf_value("pred$" + f.name, args) != 0
+        if isinstance(f, NotExpr):
+            return not self.eval_formula(f.arg, state)
+        if isinstance(f, AndExpr):
+            return all(self.eval_formula(a, state) for a in f.args)
+        if isinstance(f, OrExpr):
+            return any(self.eval_formula(a, state) for a in f.args)
+        if isinstance(f, ImpliesExpr):
+            return (not self.eval_formula(f.lhs, state)) or \
+                self.eval_formula(f.rhs, state)
+        if isinstance(f, IffExpr):
+            return self.eval_formula(f.lhs, state) == \
+                self.eval_formula(f.rhs, state)
+        raise AssertionError(f"unknown formula {f!r}")
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def run(self, s: Stmt, state: dict) -> ExecResult:
+        """Execute from a (mutated) state.  Returns the execution verdict
+        with the set of visited location ids."""
+        visited: set = set()
+        status, failed = self._exec(s, state, visited)
+        return ExecResult(status=status, failed_assert=failed,
+                          visited_locations=visited, state=state)
+
+    def _exec(self, s: Stmt, state: dict, visited: set):
+        if isinstance(s, (SkipStmt,)):
+            return ExecStatus.NORMAL, None
+        if isinstance(s, LocationStmt):
+            visited.add(s.loc_id)
+            return ExecStatus.NORMAL, None
+        if isinstance(s, AssertStmt):
+            if not self.eval_formula(s.formula, state):
+                return ExecStatus.ASSERT_FAIL, s
+            return ExecStatus.NORMAL, None
+        if isinstance(s, AssumeStmt):
+            if not self.eval_formula(s.formula, state):
+                return ExecStatus.BLOCKED, None
+            return ExecStatus.NORMAL, None
+        if isinstance(s, AssignStmt):
+            state[s.var] = self.eval_expr(s.expr, state)
+            return ExecStatus.NORMAL, None
+        if isinstance(s, MapAssignStmt):
+            m = state[s.map]
+            state[s.map] = m.set(self.eval_expr(s.index, state),
+                                 self.eval_expr(s.value, state))
+            return ExecStatus.NORMAL, None
+        if isinstance(s, HavocStmt):
+            for v in s.vars:
+                if isinstance(state.get(v), MapValue):
+                    entries = {}
+                    for _ in range(2):
+                        entries[self.chooser()] = self.chooser()
+                    state[v] = MapValue(entries, self.chooser())
+                else:
+                    state[v] = self.chooser()
+            return ExecStatus.NORMAL, None
+        if isinstance(s, SeqStmt):
+            for c in s.stmts:
+                status, failed = self._exec(c, state, visited)
+                if status != ExecStatus.NORMAL:
+                    return status, failed
+            return ExecStatus.NORMAL, None
+        if isinstance(s, IfStmt):
+            if s.cond is None:
+                take_then = bool(self.chooser() % 2)
+            else:
+                take_then = self.eval_formula(s.cond, state)
+            branch = s.then if take_then else s.els
+            return self._exec(branch, state, visited)
+        raise AssertionError(
+            f"interpreter handles the lowered core only, got {type(s).__name__}")
+
+
+def initial_state(proc: Procedure, values: dict | None = None,
+                  program_globals: dict | None = None,
+                  chooser: Callable[[], int] | None = None) -> dict:
+    """Build an input state for a prepared procedure.
+
+    Every parameter, global, lam$ constant and local gets a binding;
+    unspecified values come from the chooser (or 0).
+    """
+    choose = chooser if chooser is not None else lambda: 0
+    values = values or {}
+    state: dict = {}
+    var_types = dict(program_globals or {})
+    var_types.update(proc.var_types)
+    for name, ty in var_types.items():
+        if name in values:
+            state[name] = values[name]
+        elif ty == Type.MAP:
+            state[name] = MapValue({}, choose())
+        else:
+            state[name] = choose()
+    return state

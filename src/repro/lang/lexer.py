@@ -1,0 +1,101 @@
+"""Lexer for the mini-Boogie surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LexError(SyntaxError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'id', 'int', 'punct', 'kw', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
+
+
+KEYWORDS = {
+    "var", "function", "procedure", "returns", "requires", "ensures",
+    "modifies", "int", "assert", "assume", "skip", "havoc", "if", "else",
+    "while", "call", "return", "true", "false",
+}
+
+# Longest-match punctuation, ordered by length.
+PUNCT = [
+    "<==>", "==>", ":=", "==", "!=", "<=", ">=", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "<", ">", "+", "-", "*",
+    "!", "=",
+]
+
+
+def tokenize(src: str) -> list[Token]:
+    toks: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if src.startswith("/*", i):
+            end = src.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            skipped = src[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and src[j].isdigit():
+                j += 1
+            toks.append(Token("int", src[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c in "_$":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] in "_$.!"):
+                j += 1
+            text = src[i:j]
+            # identifiers may not end with '.' or '!'
+            while text and text[-1] in ".!":
+                text = text[:-1]
+                j -= 1
+            kind = "kw" if text in KEYWORDS else "id"
+            toks.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        for p in PUNCT:
+            if src.startswith(p, i):
+                toks.append(Token("punct", p, line, col))
+                i += len(p)
+                col += len(p)
+                break
+        else:
+            raise LexError(f"unexpected character {c!r} at line {line}, col {col}")
+    toks.append(Token("eof", "", line, col))
+    return toks

@@ -1,0 +1,136 @@
+"""Pretty printing for programs, statements, expressions and formulas.
+
+The output is valid surface syntax for everything the parser accepts;
+instrumentation-only constructs (location markers, assertion ids) print as
+comments.
+"""
+
+from __future__ import annotations
+
+from .ast import (AndExpr, AssertStmt, AssignStmt, AssumeStmt, BinExpr,
+                  BoolLit, CallStmt, Expr, Formula, FunAppExpr, HavocStmt,
+                  IffExpr, IfStmt, ImpliesExpr, IntLit, IteExpr,
+                  LocationStmt, MapAssignStmt, NegExpr, NotExpr, OrExpr,
+                  PredAppExpr, Procedure, Program, RelExpr, ReturnStmt,
+                  SelectExpr, SeqStmt, SkipStmt, Stmt, StoreExpr, Type,
+                  VarExpr, WhileStmt)
+
+
+def pp_expr(e: Expr) -> str:
+    if isinstance(e, VarExpr):
+        return e.name
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, BinExpr):
+        return f"({pp_expr(e.lhs)} {e.op} {pp_expr(e.rhs)})"
+    if isinstance(e, NegExpr):
+        return f"-{pp_expr(e.arg)}"
+    if isinstance(e, SelectExpr):
+        return f"{pp_expr(e.map)}[{pp_expr(e.index)}]"
+    if isinstance(e, StoreExpr):
+        return f"{pp_expr(e.map)}[{pp_expr(e.index)} := {pp_expr(e.value)}]"
+    if isinstance(e, FunAppExpr):
+        return f"{e.name}({', '.join(pp_expr(a) for a in e.args)})"
+    if isinstance(e, IteExpr):
+        return (f"(if {pp_formula(e.cond)} then {pp_expr(e.then)} "
+                f"else {pp_expr(e.els)})")
+    raise AssertionError(f"unknown expr {e!r}")
+
+
+def pp_formula(f: Formula) -> str:
+    if isinstance(f, BoolLit):
+        return "true" if f.value else "false"
+    if isinstance(f, RelExpr):
+        return f"{pp_expr(f.lhs)} {f.op} {pp_expr(f.rhs)}"
+    if isinstance(f, PredAppExpr):
+        return f"{f.name}({', '.join(pp_expr(a) for a in f.args)})"
+    if isinstance(f, NotExpr):
+        return f"!({pp_formula(f.arg)})"
+    if isinstance(f, AndExpr):
+        return "(" + " && ".join(pp_formula(a) for a in f.args) + ")"
+    if isinstance(f, OrExpr):
+        return "(" + " || ".join(pp_formula(a) for a in f.args) + ")"
+    if isinstance(f, ImpliesExpr):
+        return f"({pp_formula(f.lhs)} ==> {pp_formula(f.rhs)})"
+    if isinstance(f, IffExpr):
+        return f"({pp_formula(f.lhs)} <==> {pp_formula(f.rhs)})"
+    raise AssertionError(f"unknown formula {f!r}")
+
+
+def pp_stmt(s: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(s, SkipStmt):
+        return f"{pad}skip;"
+    if isinstance(s, AssertStmt):
+        label = f"{s.label}: " if s.label else ""
+        tag = f"  // aid={s.aid}" if s.aid is not None else ""
+        return f"{pad}{label}assert {pp_formula(s.formula)};{tag}"
+    if isinstance(s, AssumeStmt):
+        return f"{pad}assume {pp_formula(s.formula)};"
+    if isinstance(s, AssignStmt):
+        return f"{pad}{s.var} := {pp_expr(s.expr)};"
+    if isinstance(s, MapAssignStmt):
+        return f"{pad}{s.map}[{pp_expr(s.index)}] := {pp_expr(s.value)};"
+    if isinstance(s, HavocStmt):
+        return f"{pad}havoc {', '.join(s.vars)};"
+    if isinstance(s, ReturnStmt):
+        return f"{pad}return;"
+    if isinstance(s, LocationStmt):
+        note = f" {s.describes}" if s.describes else ""
+        return f"{pad}// loc {s.loc_id}{note}"
+    if isinstance(s, SeqStmt):
+        return "\n".join(pp_stmt(c, indent) for c in s.stmts)
+    if isinstance(s, IfStmt):
+        cond = "*" if s.cond is None else pp_formula(s.cond)
+        out = [f"{pad}if ({cond}) {{", pp_stmt(s.then, indent + 1)]
+        if not isinstance(s.els, SkipStmt):
+            out.append(f"{pad}}} else {{")
+            out.append(pp_stmt(s.els, indent + 1))
+        out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(s, WhileStmt):
+        cond = "*" if s.cond is None else pp_formula(s.cond)
+        return "\n".join([f"{pad}while ({cond}) {{",
+                          pp_stmt(s.body, indent + 1),
+                          f"{pad}}}"])
+    if isinstance(s, CallStmt):
+        lhs = f"{', '.join(s.lhs)} := " if s.lhs else ""
+        args = ", ".join(pp_expr(a) for a in s.args)
+        return f"{pad}call {lhs}{s.callee}({args});"
+    raise AssertionError(f"unknown stmt {s!r}")
+
+
+def pp_procedure(proc: Procedure) -> str:
+    params = ", ".join(f"{p}: {proc.var_types[p]}" for p in proc.params)
+    out = [f"procedure {proc.name}({params})"]
+    if proc.returns:
+        rets = ", ".join(f"{r}: {proc.var_types[r]}" for r in proc.returns)
+        out[0] += f" returns ({rets})"
+    if not (isinstance(proc.requires, BoolLit) and proc.requires.value):
+        out.append(f"  requires {pp_formula(proc.requires)};")
+    if not (isinstance(proc.ensures, BoolLit) and proc.ensures.value):
+        out.append(f"  ensures {pp_formula(proc.ensures)};")
+    if proc.modifies:
+        out.append(f"  modifies {', '.join(proc.modifies)};")
+    if proc.body is None:
+        out.append("  ;")
+        return "\n".join(out)
+    out.append("{")
+    for name in proc.locals:
+        out.append(f"  var {name}: {proc.var_types[name]};")
+    out.append(pp_stmt(proc.body, 1))
+    out.append("}")
+    return "\n".join(out)
+
+
+def pp_program(program: Program) -> str:
+    out: list[str] = []
+    for name, ty in sorted(program.globals.items()):
+        out.append(f"var {name}: {ty};")
+    for name, arity in sorted(program.functions.items()):
+        args = ", ".join(["int"] * arity)
+        out.append(f"function {name}({args}): int;")
+    for proc in program.procedures.values():
+        out.append("")
+        out.append(pp_procedure(proc))
+    return "\n".join(out) + "\n"

@@ -1,0 +1,61 @@
+"""Capture-free substitution over expressions and formulas.
+
+The language has no binders, so substitution is a straightforward
+structural map from variable names to expressions.  Substituting a map
+variable by a :class:`StoreExpr` is allowed; write-elimination (§4.4.1)
+cleans the resulting ``select(store(...))`` patterns.
+"""
+
+from __future__ import annotations
+
+from .ast import (AndExpr, BinExpr, BoolLit, Expr, Formula, FunAppExpr,
+                  IffExpr, ImpliesExpr, IntLit, IteExpr, NegExpr, NotExpr,
+                  OrExpr, PredAppExpr, RelExpr, SelectExpr, StoreExpr,
+                  VarExpr, mk_and, mk_not, mk_or)
+
+
+def subst_expr(e: Expr, mapping: dict) -> Expr:
+    """Substitute variables in ``e``; ``mapping`` is name -> Expr."""
+    if isinstance(e, VarExpr):
+        return mapping.get(e.name, e)
+    if isinstance(e, IntLit):
+        return e
+    if isinstance(e, BinExpr):
+        return BinExpr(e.op, subst_expr(e.lhs, mapping), subst_expr(e.rhs, mapping))
+    if isinstance(e, NegExpr):
+        return NegExpr(subst_expr(e.arg, mapping))
+    if isinstance(e, SelectExpr):
+        return SelectExpr(subst_expr(e.map, mapping), subst_expr(e.index, mapping))
+    if isinstance(e, StoreExpr):
+        return StoreExpr(subst_expr(e.map, mapping),
+                         subst_expr(e.index, mapping),
+                         subst_expr(e.value, mapping))
+    if isinstance(e, FunAppExpr):
+        return FunAppExpr(e.name, tuple(subst_expr(a, mapping) for a in e.args))
+    if isinstance(e, IteExpr):
+        return IteExpr(subst_formula(e.cond, mapping),
+                       subst_expr(e.then, mapping),
+                       subst_expr(e.els, mapping))
+    raise AssertionError(f"unknown expr {e!r}")
+
+
+def subst_formula(f: Formula, mapping: dict) -> Formula:
+    if isinstance(f, BoolLit):
+        return f
+    if isinstance(f, RelExpr):
+        return RelExpr(f.op, subst_expr(f.lhs, mapping), subst_expr(f.rhs, mapping))
+    if isinstance(f, PredAppExpr):
+        return PredAppExpr(f.name, tuple(subst_expr(a, mapping) for a in f.args))
+    if isinstance(f, NotExpr):
+        return mk_not(subst_formula(f.arg, mapping))
+    if isinstance(f, AndExpr):
+        return mk_and(*(subst_formula(a, mapping) for a in f.args))
+    if isinstance(f, OrExpr):
+        return mk_or(*(subst_formula(a, mapping) for a in f.args))
+    if isinstance(f, ImpliesExpr):
+        return ImpliesExpr(subst_formula(f.lhs, mapping),
+                           subst_formula(f.rhs, mapping))
+    if isinstance(f, IffExpr):
+        return IffExpr(subst_formula(f.lhs, mapping),
+                       subst_formula(f.rhs, mapping))
+    raise AssertionError(f"unknown formula {f!r}")

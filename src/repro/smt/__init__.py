@@ -1,0 +1,19 @@
+"""A from-scratch SMT solver: CDCL SAT core with DPLL(T) over EUF + LIA.
+
+This package replaces the Z3 dependency of the original ACSpec prototype —
+see DESIGN.md for scope and documented incompletenesses.
+"""
+
+from .api import Solver, SolverError, solve_formula
+from .allsat import AllSatBudgetExceeded, all_sat
+from .terms import Op, Sort, Term, TermFactory, pretty_term
+from .model import Model, extract_model
+from .theories.lia import LiaBudgetExceeded
+
+__all__ = [
+    "Solver", "SolverError", "solve_formula",
+    "AllSatBudgetExceeded", "all_sat",
+    "Op", "Sort", "Term", "TermFactory", "pretty_term",
+    "LiaBudgetExceeded",
+    "Model", "extract_model",
+]

@@ -1,0 +1,150 @@
+"""User-facing SMT solver facade (a z3py-flavoured API).
+
+Typical use::
+
+    from repro.smt.api import Solver
+    from repro.smt.terms import TermFactory
+
+    f = TermFactory()
+    x, y = f.int_var("x"), f.int_var("y")
+    s = Solver(f)
+    s.add(f.lt(x, y), f.lt(y, x))
+    assert s.check() == "unsat"
+
+The solver supports:
+
+* ``add`` — assert a formula at the root level,
+* ``add_guarded`` — assert ``indicator -> formula`` for assumption-based
+  incremental querying,
+* ``check(assumptions)`` — returns ``"sat"`` or ``"unsat"``,
+* ``model_value`` — boolean value of a formula under the found model.
+
+Array store terms are eagerly rewritten (see theories/arrays.py) and
+term-level ites purified before CNF conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .dpllt import TheoryCore
+from .sat.solver import SatSolver, UNASSIGNED
+from .sat.tseitin import CnfBuilder, purify_ites
+from .terms import Sort, Term, TermFactory
+from .theories.arrays import contains_select_over_store, eliminate_stores
+
+
+class SolverError(RuntimeError):
+    pass
+
+
+class Solver:
+    def __init__(self, factory: TermFactory | None = None,
+                 lia_budget: int = 20000):
+        self.factory = factory if factory is not None else TermFactory()
+        self.sat = SatSolver()
+        self.cnf = CnfBuilder(self.factory, self.sat)
+        self.theory = TheoryCore(self.factory, self.cnf, lia_budget=lia_budget)
+        self.sat.theory = self.theory
+        self._last_result: str | None = None
+
+    # ------------------------------------------------------------------
+    # preprocessing
+    # ------------------------------------------------------------------
+
+    def _prepare(self, formula: Term) -> Term:
+        if formula.sort is not Sort.BOOL:
+            raise SolverError("can only assert boolean terms")
+        formula = eliminate_stores(self.factory, formula)
+        formula, defs = purify_ites(self.factory, formula)
+        for d in defs:
+            d = eliminate_stores(self.factory, d)
+            d2, extra = purify_ites(self.factory, d)
+            assert not extra, "ite purification did not converge"
+            if contains_select_over_store(d2):
+                raise SolverError("unsupported nested store pattern")
+            self.cnf.assert_formula(d2)
+        if contains_select_over_store(formula):
+            raise SolverError("unsupported nested store pattern")
+        return formula
+
+    # ------------------------------------------------------------------
+    # assertions
+    # ------------------------------------------------------------------
+
+    def add(self, *formulas: Term) -> None:
+        self.sat._backjump(0)
+        for fm in formulas:
+            self.cnf.assert_formula(self._prepare(fm))
+
+    def lit_for(self, formula: Term) -> int:
+        """A SAT literal equisatisfiable with ``formula`` (definitions added)."""
+        self.sat._backjump(0)
+        return self.cnf.lit_for(self._prepare(formula))
+
+    def new_indicator(self) -> int:
+        """A fresh boolean indicator literal for guarded assertions."""
+        return self.sat.new_var()
+
+    def add_guarded(self, indicator: int, formula: Term) -> None:
+        """Assert ``indicator -> formula``; enable it by assuming
+        ``indicator`` in :meth:`check`."""
+        self.sat._backjump(0)
+        self.cnf.assert_implication(indicator, self._prepare(formula))
+
+    def add_clause_lits(self, lits: Iterable[int]) -> None:
+        """Add a raw clause over already-created literals (used by ALL-SAT
+        blocking)."""
+        self.sat._backjump(0)
+        self.sat.add_clause(list(lits))
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+
+    def check(self, assumptions: Sequence[int] = ()) -> str:
+        res = self.sat.solve(assumptions)
+        self._last_result = "sat" if res else "unsat"
+        return self._last_result
+
+    def check_formula(self, formula: Term,
+                      assumptions: Sequence[int] = ()) -> str:
+        """One-off satisfiability of ``formula`` conjoined with the context,
+        without polluting the root level: the formula is guarded by a fresh
+        indicator assumed for this call only."""
+        ind = self.new_indicator()
+        self.add_guarded(ind, formula)
+        return self.check(list(assumptions) + [ind])
+
+    @property
+    def unsat_core(self) -> list[int] | None:
+        return self.sat.core
+
+    # ------------------------------------------------------------------
+    # models
+    # ------------------------------------------------------------------
+
+    def model_lit(self, lit: int) -> bool:
+        if self._last_result != "sat":
+            raise SolverError("no model: last check was not sat")
+        return self.sat.model_value(lit)
+
+    def model_atom(self, atom: Term) -> bool | None:
+        """Boolean value of a registered atom; None if it was irrelevant."""
+        if self._last_result != "sat":
+            raise SolverError("no model: last check was not sat")
+        var = self.cnf.atom_to_var.get(atom.tid)
+        if var is None:
+            return None
+        val = self.sat.value(var)
+        if val is UNASSIGNED:
+            return None
+        return bool(val)
+
+
+def solve_formula(factory: TermFactory, formula: Term,
+                  lia_budget: int = 20000) -> str:
+    """Convenience one-shot satisfiability check."""
+    s = Solver(factory, lia_budget=lia_budget)
+    s.add(formula)
+    return s.check()

@@ -1,0 +1,453 @@
+"""DPLL(T): glue between the CDCL core, the CNF builder, and the theories.
+
+:class:`TheoryCore` implements the SAT solver's :class:`TheoryInterface`.
+It parses assigned atoms into EUF and LIA facts, reports theory conflicts
+as clauses over SAT literals, and performs Nelson–Oppen style equality
+exchange between the two theories:
+
+* EUF -> LIA: at check time, equalities between LIA-relevant terms that
+  hold in the congruence closure are added as LIA equations whose premise
+  tokens expand through :meth:`EufSolver.explain`.
+* LIA -> EUF: at final check, for every pair of *interface terms* (integer
+  terms occurring under a function symbol) the LIA solver is asked whether
+  their equality is entailed; if so a lemma forcing the corresponding
+  equality atom is emitted.
+
+Backtracking is handled by rebuilding the (cheap, near-linear) congruence
+closure from the surviving fact prefix — see euf.py.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .sat.solver import SatSolver, TheoryInterface
+from .sat.tseitin import CnfBuilder
+from .terms import Op, Sort, Term, TermFactory
+from .theories.euf import EufSolver
+from .theories.lia import LiaSolver
+
+
+def linearize(t: Term) -> tuple[dict[int, Fraction], Fraction, dict[int, Term]]:
+    """Decompose an Int term into (coeffs over opaque keys, constant, key terms).
+
+    Keys are term ids of maximal non-arithmetic subterms; non-linear
+    multiplication makes the whole product opaque.
+    """
+    coeffs: dict[int, Fraction] = {}
+    const = Fraction(0)
+    keys: dict[int, Term] = {}
+
+    def go(node: Term, scale: Fraction) -> None:
+        nonlocal const
+        op = node.op
+        if op is Op.INTCONST:
+            const += scale * node.value
+        elif op is Op.ADD:
+            go(node.args[0], scale)
+            go(node.args[1], scale)
+        elif op is Op.SUB:
+            go(node.args[0], scale)
+            go(node.args[1], -scale)
+        elif op is Op.NEG:
+            go(node.args[0], -scale)
+        elif op is Op.MUL:
+            a, b = node.args
+            if a.op is Op.INTCONST:
+                go(b, scale * a.value)
+            elif b.op is Op.INTCONST:
+                go(a, scale * b.value)
+            else:  # non-linear: opaque
+                _opaque(node, scale)
+        else:
+            _opaque(node, scale)
+
+    def _opaque(node: Term, scale: Fraction) -> None:
+        keys[node.tid] = node
+        nv = coeffs.get(node.tid, Fraction(0)) + scale
+        if nv:
+            coeffs[node.tid] = nv
+        else:
+            coeffs.pop(node.tid, None)
+
+    go(t, Fraction(1))
+    return coeffs, const, keys
+
+
+def _lin_diff(a: Term, b: Term) -> tuple[dict[int, Fraction], Fraction, dict[int, Term]]:
+    ca, ka, terms_a = linearize(a)
+    cb, kb, terms_b = linearize(b)
+    coeffs = dict(ca)
+    for k, v in cb.items():
+        nv = coeffs.get(k, Fraction(0)) - v
+        if nv:
+            coeffs[k] = nv
+        else:
+            coeffs.pop(k, None)
+    terms_a.update(terms_b)
+    return coeffs, ka - kb, terms_a
+
+
+class TheoryCore(TheoryInterface):
+    def __init__(self, factory: TermFactory, cnf: CnfBuilder,
+                 lia_budget: int = 20000):
+        self.factory = factory
+        self.cnf = cnf
+        self.euf = EufSolver()
+        self.lia = LiaSolver(budget=lia_budget)
+        self._lits: list[int] = []
+        self._dirty = False
+        self._key_terms: dict[int, Term] = {}
+        # int-equality atoms already strengthened with a trichotomy split
+        self._split_done: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # TheoryInterface
+    # ------------------------------------------------------------------
+
+    def assert_lit(self, lit: int) -> list[int] | None:
+        if self._dirty:
+            self._rebuild()
+        self._lits.append(lit)
+        return self._assert_to_euf(lit)
+
+    def undo_to(self, trail_len: int) -> None:
+        if trail_len < len(self._lits):
+            del self._lits[trail_len:]
+            self._dirty = True
+            self._collect_cache = None
+
+    def check(self, final: bool) -> list[list[int]]:
+        if self._dirty:
+            self._rebuild()
+        lemmas = self._lia_check()
+        if lemmas:
+            return lemmas
+        if final:
+            splits = self._diseq_splits()
+            if splits:
+                return splits
+            arrays = self._array_lemmas()
+            if arrays:
+                return arrays
+            return self._propagate_interface_equalities()
+        return []
+
+    def _array_lemmas(self) -> list[list[int]]:
+        """Lazy read-over-write instantiation for *derived* store aliases.
+
+        The eager rewrite in theories/arrays.py removes syntactic
+        ``select(store(...), i)`` patterns, but a map variable can still
+        become EUF-equal to a store term through an asserted map equality
+        (the passive/Boogie encoding produces exactly those).  For every
+        select whose map argument is congruent to ``store(b, i, v)``,
+        instantiate::
+
+            expl ∧ k = i  ->  select(m, k) = v
+            expl ∧ k != i ->  select(m, k) = select(b, k)
+
+        where ``expl`` explains ``m ~ store(b, i, v)``.  New terms/atoms
+        recurse in later rounds; store chains are finite, so this
+        terminates.
+        """
+        f = self.factory
+        done: set[tuple[int, int]] = getattr(self, "_array_done", set())
+        self._array_done = done
+        classes = self.euf.equivalence_classes()
+        by_root: dict[int, list[Term]] = classes
+        lemmas: list[list[int]] = []
+        selects = [t for t in self.euf.known_terms() if t.op is Op.SELECT]
+        for sel in selects:
+            m, k = sel.args
+            root_members = None
+            for members in by_root.values():
+                if any(t.tid == m.tid for t in members):
+                    root_members = members
+                    break
+            if root_members is None:
+                continue
+            for cand in root_members:
+                if cand.op is not Op.STORE:
+                    continue
+                key = (sel.tid, cand.tid)
+                if key in done:
+                    continue
+                done.add(key)
+                b, i, v = cand.args
+                expl = self.euf.explain(m, cand) if m is not cand else set()
+                neg_expl = self._premises_to_clause(expl) if expl else []
+
+                def lit_of(term: Term) -> int | None:
+                    """SAT literal for a (possibly folded) atom or its
+                    negation; None means constant-true (clause satisfied).
+                    Uses atom registration only — safe mid-search."""
+                    if term is f.true:
+                        return None
+                    if term is f.false:
+                        return 0
+                    if term.op is Op.NOT:
+                        inner = lit_of(term.args[0])
+                        if inner is None:
+                            return 0
+                        if inner == 0:
+                            return None
+                        return -inner
+                    return self.cnf.atom_var(term)
+
+                # lemma 1: expl && k == i -> sel = v
+                lits = [lit_of(f.not_(f.eq(k, i))), lit_of(f.eq(sel, v))]
+                if None not in lits:
+                    lemmas.append(neg_expl + [l for l in lits if l != 0])
+                # lemma 2: expl && k != i -> sel = select(b, k)
+                lits = [lit_of(f.eq(k, i)),
+                        lit_of(f.eq(sel, f.select(b, k)))]
+                if None not in lits:
+                    lemmas.append(neg_expl + [l for l in lits if l != 0])
+        return lemmas
+
+    def _diseq_splits(self) -> list[list[int]]:
+        """Trichotomy lemmas for asserted integer disequalities.
+
+        ``x != y`` is non-convex over the integers; pairwise reasoning in
+        the LIA core misses combinations like ``0 <= x <= 1, x != 0,
+        x != 1``.  Splitting ``x = y || x < y || y < x`` through the SAT
+        solver restores completeness (each branch is convex).
+        """
+        lemmas: list[list[int]] = []
+        for lit in self._lits:
+            if lit >= 0:
+                continue
+            atom = self.cnf.var_to_atom.get(-lit)
+            if atom is None or atom.op is not Op.EQ:
+                continue
+            if atom.args[0].sort is not Sort.INT:
+                continue
+            if atom.tid in self._split_done:
+                continue
+            self._split_done.add(atom.tid)
+            a, b = atom.args
+            lt1 = self.cnf.atom_var(self.factory.lt(a, b))
+            lt2 = self.cnf.atom_var(self.factory.lt(b, a))
+            lemmas.append([-lit if lit < 0 else lit, lt1, lt2])
+        return lemmas
+
+    # ------------------------------------------------------------------
+    # EUF side
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        self.euf = EufSolver()
+        self._dirty = False
+        for lit in self._lits:
+            confl = self._assert_to_euf(lit)
+            # The prefix was consistent when it was first on the trail.
+            assert confl is None, "inconsistent rebuilt prefix"
+
+    def _assert_to_euf(self, lit: int) -> list[int] | None:
+        atom = self.cnf.var_to_atom.get(abs(lit))
+        if atom is None:
+            return None
+        op = atom.op
+        premises = None
+        if op is Op.EQ:
+            a, b = atom.args
+            if lit > 0:
+                premises = self.euf.assert_eq(a, b, ("lit", lit))
+            else:
+                premises = self.euf.assert_diseq(a, b, ("lit", lit))
+        elif op in (Op.LE, Op.LT):
+            # Register the terms so congruence sees them; no EUF semantics.
+            for side in atom.args:
+                self.euf.add_term(side)
+            try:
+                self.euf._process()
+            except Exception as exc:  # EufConflict
+                premises = getattr(exc, "premises", None)
+                if premises is None:
+                    raise
+        if premises is None:
+            return None
+        return self._premises_to_clause(premises)
+
+    def _premises_to_clause(self, premises: set) -> list[int]:
+        clause: list[int] = []
+        seen: set[int] = set()
+        stack = list(premises)
+        while stack:
+            tok = stack.pop()
+            if tok in seen:
+                continue
+            seen.add(tok)
+            if tok[0] == "lit":
+                clause.append(-tok[1])
+            elif tok[0] == "euf":
+                a = self._key_terms[tok[1]]
+                b = self._key_terms[tok[2]]
+                stack.extend(self.euf.explain(a, b))
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown premise token {tok!r}")
+        return sorted(set(clause), key=abs)
+
+    # ------------------------------------------------------------------
+    # LIA side
+    # ------------------------------------------------------------------
+
+    def _collect_lia(self):
+        # cache per trail prefix: the lits list only grows between undos
+        cached = getattr(self, "_collect_cache", None)
+        if cached is not None and cached[0] == len(self._lits) and \
+                not self._dirty:
+            return cached[1]
+        result = self._collect_lia_raw()
+        self._collect_cache = (len(self._lits), result)
+        return result
+
+    def _collect_lia_raw(self):
+        eqs, ineqs, diseqs = [], [], []
+        key_terms: dict[int, Term] = {}
+        for lit in self._lits:
+            atom = self.cnf.var_to_atom.get(abs(lit))
+            if atom is None:
+                continue
+            op = atom.op
+            if op is Op.EQ and atom.args[0].sort is Sort.INT:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                key_terms.update(kt)
+                prem = frozenset({("lit", lit)})
+                if lit > 0:
+                    eqs.append((coeffs, const, prem))
+                else:
+                    diseqs.append((coeffs, const, prem))
+            elif op is Op.LE:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                key_terms.update(kt)
+                prem = frozenset({("lit", lit)})
+                if lit > 0:
+                    ineqs.append((coeffs, const, prem))       # a - b <= 0
+                else:
+                    neg = {k: -v for k, v in coeffs.items()}
+                    ineqs.append((neg, -const + 1, prem))     # b - a + 1 <= 0
+            elif op is Op.LT:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                key_terms.update(kt)
+                prem = frozenset({("lit", lit)})
+                if lit > 0:
+                    ineqs.append((coeffs, const + 1, prem))   # a - b + 1 <= 0
+                else:
+                    neg = {k: -v for k, v in coeffs.items()}
+                    ineqs.append((neg, -const, prem))         # b - a <= 0
+        self._key_terms.update(key_terms)
+        return eqs, ineqs, diseqs, key_terms
+
+    def _euf_equalities_for_lia(self, key_terms: dict[int, Term]):
+        """Equations implied by the congruence closure, as LIA constraints
+        with ('euf', a, b) premises.
+
+        Participants are LIA keys, integer constants, and *interface*
+        terms (integer arguments of function/select/store applications).
+        The last group matters even when LIA has no other constraint on
+        the term: it can bridge an entailment chain that the interface
+        propagation then turns into new congruences (e.g. with
+        ``M[-1] = 0`` and ``M[0] = 0``, the class {M[M[-1]], M[0]} makes
+        LIA entail ``M[M[-1]] = 0``, which merges ``M[M[M[-1]]]`` with
+        ``M[0]``).  Restricting to these groups keeps the equation count
+        proportional to the atoms rather than to all subterms."""
+        interface_tids = self._interface_tids_cached()
+        eqs = []
+        classes = self.euf.equivalence_classes()
+        for members in classes.values():
+            # an equation chain can only contribute to an entailment if it
+            # bottoms out in LIA-constrained terms, so classes without any
+            # key/constant member are skipped wholesale
+            if not any(m.tid in key_terms or m.op is Op.INTCONST
+                       for m in members):
+                continue
+            relevant = [m for m in members
+                        if m.sort is Sort.INT
+                        and (m.tid in key_terms or m.op is Op.INTCONST
+                             or m.tid in interface_tids)]
+            if len(relevant) < 2:
+                continue
+            rep = relevant[0]
+            self._key_terms[rep.tid] = rep
+            for other in relevant[1:]:
+                self._key_terms[other.tid] = other
+                coeffs, const, _ = _lin_diff(rep, other)
+                if not coeffs and const == 0:
+                    continue
+                prem = frozenset({("euf", rep.tid, other.tid)})
+                eqs.append((coeffs, const, prem))
+        return eqs
+
+    def _lia_check(self) -> list[list[int]]:
+        eqs, ineqs, diseqs, key_terms = self._collect_lia()
+        if not (eqs or ineqs or diseqs):
+            return []
+        eqs = eqs + self._euf_equalities_for_lia(key_terms)
+        conflict = self.lia.check(eqs, ineqs, diseqs)
+        if conflict is None:
+            return []
+        return [self._premises_to_clause(conflict)]
+
+    # ------------------------------------------------------------------
+    # LIA -> EUF interface equality propagation
+    # ------------------------------------------------------------------
+
+    # Above this many interface terms the quadratic entailment sweep is
+    # curtailed (soundness is unaffected; only completeness of the rare
+    # LIA->EUF propagation on huge procedures).
+    MAX_INTERFACE_TERMS = 48
+
+    def _interface_terms(self, key_terms: dict[int, Term],
+                         cap: int | None = None) -> list[Term]:
+        out = []
+        for t in self.euf.known_terms():
+            if t.op in (Op.APPLY, Op.SELECT, Op.STORE):
+                for a in t.args:
+                    if a.sort is Sort.INT:
+                        out.append(a)
+        # dedupe preserving order
+        seen: set[int] = set()
+        uniq = []
+        for t in out:
+            if t.tid not in seen:
+                seen.add(t.tid)
+                uniq.append(t)
+        limit = cap if cap is not None else self.MAX_INTERFACE_TERMS
+        return uniq[:limit] if limit else uniq
+
+    def _interface_tids_cached(self) -> set[int]:
+        """Uncapped interface-term ids, recomputed only when the EUF term
+        universe grows (terms are only ever added between rebuilds)."""
+        n = len(self.euf._terms)
+        cached = getattr(self, "_iface_cache", None)
+        if cached is not None and cached[0] is self.euf and cached[1] == n:
+            return cached[2]
+        tids = {t.tid for t in self._interface_terms({}, cap=0)}
+        self._iface_cache = (self.euf, n, tids)
+        return tids
+
+    def _propagate_interface_equalities(self) -> list[list[int]]:
+        eqs, ineqs, diseqs, key_terms = self._collect_lia()
+        if not (eqs or ineqs):
+            return []
+        eqs = eqs + self._euf_equalities_for_lia(key_terms)
+        interface = self._interface_terms(key_terms)
+        lemmas: list[list[int]] = []
+        for i in range(len(interface)):
+            for j in range(i + 1, len(interface)):
+                x, y = interface[i], interface[j]
+                if self.euf.are_equal(x, y):
+                    continue
+                coeffs, const, _ = _lin_diff(x, y)
+                prem = self.lia.entails_eq(eqs, ineqs, coeffs, const)
+                if prem is None:
+                    continue
+                atom = self.factory.eq(x, y)
+                if atom is self.factory.true:
+                    continue
+                eq_lit = self.cnf.atom_var(atom)
+                clause = self._premises_to_clause(prem)
+                clause.append(eq_lit)
+                lemmas.append(clause)
+        return lemmas

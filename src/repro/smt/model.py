@@ -1,0 +1,302 @@
+"""Best-effort model extraction for satisfiable queries.
+
+The DPLL(T) core certifies satisfiability without producing an integer
+assignment (Fourier–Motzkin decides feasibility but does not name a
+witness).  This module reconstructs one after a ``sat`` answer:
+
+1. collect the theory atoms the SAT trail asserts, with their polarity;
+2. solve the induced LIA system by greedy value search per variable,
+   using the (exact, cached) FM feasibility oracle to validate each
+   choice, with soft distinctness between unmerged interface terms so
+   uninterpreted functions stay consistent;
+3. assign every congruence class a value (constants, LIA values, or
+   fresh distinct values);
+4. **verify**: every asserted atom is re-evaluated under the candidate
+   assignment; on any mismatch extraction returns ``None`` rather than a
+   wrong model.
+
+Because of step 4 a returned :class:`Model` is always genuine.  The
+extractor can fail (return ``None``) on exotic instances; the test suite
+pins the supported fragment.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .api import Solver
+from .dpllt import _lin_diff, linearize
+from .terms import Op, Sort, Term
+
+
+class Model:
+    """A concrete assignment: integers for int terms, dict-backed total
+    maps for map variables, and tables for uninterpreted functions."""
+
+    def __init__(self, var_values: dict, map_values: dict, fun_tables: dict):
+        self.var_values = var_values      # var name -> int
+        self.map_values = map_values      # map name -> (dict, default)
+        self.fun_tables = fun_tables      # (fname, args) -> int
+
+    # ------------------------------------------------------------------
+
+    def eval_int(self, t: Term) -> int:
+        op = t.op
+        if op is Op.INTCONST:
+            return t.value
+        if op is Op.VAR:
+            return self.var_values.get(t.name, 0)
+        if op is Op.ADD:
+            return self.eval_int(t.args[0]) + self.eval_int(t.args[1])
+        if op is Op.SUB:
+            return self.eval_int(t.args[0]) - self.eval_int(t.args[1])
+        if op is Op.NEG:
+            return -self.eval_int(t.args[0])
+        if op is Op.MUL:
+            return self.eval_int(t.args[0]) * self.eval_int(t.args[1])
+        if op is Op.ITE:
+            c = self.eval_bool(t.args[0])
+            return self.eval_int(t.args[1] if c else t.args[2])
+        if op is Op.SELECT:
+            entries, default = self.eval_map(t.args[0])
+            return entries.get(self.eval_int(t.args[1]), default)
+        if op is Op.APPLY:
+            args = tuple(self.eval_int(a) for a in t.args)
+            return self.fun_tables.get((t.payload[0], args), 0)
+        raise ValueError(f"cannot evaluate {t!r} as an integer")
+
+    def eval_map(self, t: Term):
+        if t.op is Op.VAR:
+            return self.map_values.get(t.name, ({}, 0))
+        if t.op is Op.STORE:
+            entries, default = self.eval_map(t.args[0])
+            entries = dict(entries)
+            entries[self.eval_int(t.args[1])] = self.eval_int(t.args[2])
+            return entries, default
+        if t.op is Op.ITE:
+            c = self.eval_bool(t.args[0])
+            return self.eval_map(t.args[1] if c else t.args[2])
+        raise ValueError(f"cannot evaluate {t!r} as a map")
+
+    def eval_bool(self, t: Term) -> bool:
+        op = t.op
+        if op is Op.TRUE:
+            return True
+        if op is Op.FALSE:
+            return False
+        if op is Op.VAR:
+            return bool(self.var_values.get(t.name, 0))
+        if op is Op.EQ:
+            if t.args[0].sort is Sort.MAP:
+                return self.eval_map(t.args[0]) == self.eval_map(t.args[1])
+            return self.eval_int(t.args[0]) == self.eval_int(t.args[1])
+        if op is Op.LE:
+            return self.eval_int(t.args[0]) <= self.eval_int(t.args[1])
+        if op is Op.LT:
+            return self.eval_int(t.args[0]) < self.eval_int(t.args[1])
+        if op is Op.NOT:
+            return not self.eval_bool(t.args[0])
+        if op is Op.AND:
+            return all(self.eval_bool(a) for a in t.args)
+        if op is Op.OR:
+            return any(self.eval_bool(a) for a in t.args)
+        if op is Op.IMPLIES:
+            return (not self.eval_bool(t.args[0])) or self.eval_bool(t.args[1])
+        if op is Op.IFF:
+            return self.eval_bool(t.args[0]) == self.eval_bool(t.args[1])
+        if op is Op.ITE:
+            c = self.eval_bool(t.args[0])
+            return self.eval_bool(t.args[1] if c else t.args[2])
+        if op is Op.APPLY:
+            raise ValueError("boolean uninterpreted applications are not "
+                             "part of the encoded fragment")
+        raise ValueError(f"cannot evaluate {t!r} as a boolean")
+
+
+def extract_model(solver: Solver, search_bound: int = 8,
+                  retries: int = 4) -> Model | None:
+    """Reconstruct a model after ``solver.check(...) == 'sat'``.
+
+    Returns ``None`` when reconstruction fails (never a wrong model)."""
+    theory = solver.theory
+    atoms: list[tuple[Term, bool]] = []
+    for lit in theory._lits:
+        atom = solver.cnf.var_to_atom.get(abs(lit))
+        if atom is not None:
+            atoms.append((atom, lit > 0))
+    for attempt in range(retries):
+        model = _try_build(solver, atoms, search_bound << attempt, attempt)
+        if model is None:
+            continue
+        if _verify(model, atoms):
+            return model
+    return None
+
+
+def _class_equalities_all(theory) -> list:
+    """Equations between *all* integer members of each congruence class.
+
+    The solving pipeline only needs equalities over LIA-relevant terms,
+    but model construction must respect congruence-derived equalities over
+    terms LIA never saw (nested selects being the canonical case), or the
+    soft-distinctness pass can pull congruent terms apart."""
+    out = []
+    for members in theory.euf.equivalence_classes().values():
+        ints = [m for m in members if m.sort is Sort.INT]
+        if len(ints) < 2:
+            continue
+        rep = ints[0]
+        for other in ints[1:]:
+            coeffs, const, _ = _lin_diff(rep, other)
+            if coeffs:
+                out.append((coeffs, const, frozenset({"euf-model"})))
+    return out
+
+
+def _try_build(solver: Solver, atoms, bound: int, salt: int) -> Model | None:
+    theory = solver.theory
+    eqs, ineqs, diseqs, key_terms = theory._collect_lia()
+    eqs = eqs + theory._euf_equalities_for_lia(key_terms) + \
+        _class_equalities_all(theory)
+    # soft distinctness between unmerged interface terms keeps
+    # uninterpreted functions consistent under the chosen values
+    soft_diseqs = []
+    interface = theory._interface_terms(key_terms)
+    for i in range(len(interface)):
+        for j in range(i + 1, len(interface)):
+            x, y = interface[i], interface[j]
+            if theory.euf.are_equal(x, y):
+                continue
+            coeffs, const, _ = _lin_diff(x, y)
+            if coeffs:
+                soft_diseqs.append((coeffs, const, frozenset({"soft"})))
+    lia = theory.lia
+    if lia.check(eqs, ineqs, diseqs) is not None:
+        return None  # should not happen after a sat answer
+    # add soft disequalities greedily, keeping feasibility (their
+    # conjunction can be infeasible even when each is individually fine)
+    kept_soft: list = []
+    for sd in soft_diseqs:
+        if lia.check(eqs, ineqs, diseqs + kept_soft + [sd]) is None:
+            kept_soft.append(sd)
+    diseqs = diseqs + kept_soft
+    # greedy per-variable value search
+    keys = sorted({k for cs in (eqs, ineqs) for c in cs for k in c[0]} |
+                  {k for c in diseqs for k in c[0]})
+    assigned: dict[int, int] = {}
+    work_eqs = list(eqs)
+    for key in keys:
+        found = False
+        candidates = sorted(range(-bound, bound + 1),
+                            key=lambda v: (abs(v), v < 0))
+        if salt:
+            candidates = candidates[salt % 3:] + candidates[:salt % 3]
+        for v in candidates:
+            trial = work_eqs + [({key: Fraction(1)}, Fraction(-v),
+                                 frozenset({"pin"}))]
+            if lia.check(trial, ineqs, diseqs) is None:
+                work_eqs = trial
+                assigned[key] = v
+                found = True
+                break
+        if not found:
+            return None
+    # congruence classes -> values; prefer interpreted constants, then
+    # LIA-assigned keys, then linear combinations of assigned keys, then
+    # fresh distinct values
+    def linear_value(t: Term) -> int | None:
+        cs, k, _ = linearize(t)
+        total = k
+        for tid, coeff in cs.items():
+            if tid not in assigned:
+                return None
+            total += coeff * assigned[tid]
+        return int(total) if total.denominator == 1 else None
+
+    classes = theory.euf.equivalence_classes()
+    class_value: dict[int, int] = {}
+    used = set(assigned.values())
+    fresh = max(used | {bound}) + 101
+    for root, members in classes.items():
+        value = None
+        for m in members:
+            if m.op is Op.INTCONST:
+                value = m.value
+                break
+        if value is None:
+            for m in members:
+                if m.tid in assigned:
+                    value = assigned[m.tid]
+                    break
+        if value is None:
+            for m in members:
+                value = linear_value(m)
+                if value is not None:
+                    break
+        if value is None:
+            value = fresh
+            fresh += 1
+        for m in members:
+            class_value[m.tid] = value
+    # variable / map / function tables
+    var_values: dict[str, int] = {}
+    map_values: dict[str, tuple[dict, int]] = {}
+    fun_tables: dict = {}
+
+    def value_of(t: Term) -> int:
+        # every registered term has a class value; that IS its value
+        if t.tid in class_value:
+            return class_value[t.tid]
+        if t.tid in assigned:
+            return assigned[t.tid]
+        if t.op is Op.INTCONST:
+            return t.value
+        lv = linear_value(t)
+        return lv if lv is not None else 0
+
+    for root, members in classes.items():
+        for m in members:
+            if m.op is Op.VAR and m.sort is Sort.INT:
+                var_values[m.name] = class_value[m.tid]
+            elif m.op is Op.SELECT and m.args[0].op is Op.VAR:
+                name = m.args[0].name
+                entries, default = map_values.get(name, ({}, fresh))
+                if name not in map_values:
+                    fresh += 1
+                idx = value_of(m.args[1])
+                want = class_value[m.tid]
+                if entries.get(idx, want) != want:
+                    return None  # cell conflict: retry with another salt
+                entries[idx] = want
+                map_values[name] = (entries, default)
+            elif m.op is Op.APPLY:
+                args = tuple(value_of(a) for a in m.args)
+                key = (m.payload[0], args)
+                want = class_value[m.tid]
+                if fun_tables.get(key, want) != want:
+                    return None  # table conflict: retry
+                fun_tables[key] = want
+    # int vars only seen by LIA (no EUF class) still need values
+    for tid, term in dict(theory._key_terms).items():
+        if term.op is Op.VAR and term.sort is Sort.INT and \
+                term.name not in var_values and tid in assigned:
+            var_values[term.name] = assigned[tid]
+    for tid, term in key_terms.items():
+        if term.op is Op.VAR and term.sort is Sort.INT and \
+                term.name not in var_values and tid in assigned:
+            var_values[term.name] = assigned[tid]
+    # boolean variables take their SAT-trail polarity
+    for atom, polarity in atoms:
+        if atom.op is Op.VAR and atom.sort is Sort.BOOL:
+            var_values[atom.name] = int(polarity)
+    return Model(var_values, map_values, fun_tables)
+
+
+def _verify(model: Model, atoms) -> bool:
+    for atom, polarity in atoms:
+        try:
+            if model.eval_bool(atom) != polarity:
+                return False
+        except ValueError:
+            return False
+    return True

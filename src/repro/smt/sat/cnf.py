@@ -1,0 +1,49 @@
+"""Literal and clause conventions shared by the SAT core.
+
+Variables are positive integers ``1..n``.  A literal is ``+v`` (the variable)
+or ``-v`` (its negation) — the DIMACS convention.  A clause is a list of
+literals; the empty clause is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def neg(lit: int) -> int:
+    """The complement literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """The variable underlying a literal."""
+    return lit if lit > 0 else -lit
+
+
+def sign_of(lit: int) -> bool:
+    """True for positive literals."""
+    return lit > 0
+
+
+def normalize_clause(lits: Iterable[int]) -> list[int] | None:
+    """Sort, dedupe, and detect tautologies.
+
+    Returns the cleaned clause, or ``None`` if the clause is a tautology
+    (contains both a literal and its complement) and may be dropped.
+    """
+    seen: set[int] = set()
+    out: list[int] = []
+    for lit in lits:
+        if lit == 0:
+            raise ValueError("literal 0 is reserved")
+        if -lit in seen:
+            return None
+        if lit not in seen:
+            seen.add(lit)
+            out.append(lit)
+    out.sort(key=abs)
+    return out
+
+
+def clause_str(lits: Iterable[int]) -> str:
+    return "(" + " | ".join(str(l) for l in lits) + ")"

@@ -1,0 +1,591 @@
+"""A CDCL SAT solver with assumptions and theory hooks.
+
+The design follows MiniSat: two-watched-literal propagation, VSIDS variable
+activity with phase saving, first-UIP conflict analysis with recursive
+clause minimization, Luby restarts, and solving under assumptions with
+unsat-core extraction.
+
+A *theory* object may be attached (see :class:`TheoryInterface`).  The
+solver keeps the theory synchronized with the trail and consults it at
+propagation fixpoints and on full assignments; the theory answers with
+lemma clauses (in particular, conflict explanations), which the solver
+integrates non-chronologically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from .cnf import normalize_clause, var_of
+
+
+class TheoryInterface:
+    """What the SAT core expects of a theory plugin.
+
+    All methods have trivial defaults so a plain SAT problem needs no
+    theory at all.
+    """
+
+    def assert_lit(self, lit: int) -> list[int] | None:
+        """Notify that ``lit`` became true on the trail.
+
+        Returns ``None`` when consistent, or a *conflict clause* — a clause
+        (list of literals) that is currently falsified and explains the
+        inconsistency.
+        """
+        return None
+
+    def undo_to(self, trail_len: int) -> None:
+        """Undo assertions so that only the first ``trail_len`` trail
+        literals are considered asserted."""
+
+    def check(self, final: bool) -> list[list[int]]:
+        """Consistency check; ``final`` means the assignment is total.
+
+        Returns lemma clauses to add (empty list = consistent).  On a
+        final check, returning no lemmas certifies T-satisfiability.
+        """
+        return []
+
+
+class _Unassigned:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "UNASSIGNED"
+
+
+UNASSIGNED = _Unassigned()
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... (MiniSat's scheme)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver.  Variables are created via :meth:`new_var` and are
+    positive integers; literals follow the DIMACS ±v convention."""
+
+    def __init__(self, theory: TheoryInterface | None = None):
+        self.theory = theory
+        self.nvars = 0
+        # Indexed by variable (1-based; slot 0 unused).
+        self._assign: list = [UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._seen: list[bool] = [False]
+        # Indexed by encoded literal (2v for +v, 2v+1 for -v).
+        self._watches: list[list[list[int]]] = [[], []]
+        self.trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._th_head = 0
+        self._clauses: list[list[int]] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._order: list[tuple[float, int]] = []
+        self.ok = True
+        self.core: list[int] | None = None
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._assumptions: list[int] = []
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.nvars += 1
+        v = self.nvars
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(False)
+        self._watches.append([])  # 2v
+        self._watches.append([])  # 2v+1
+        heapq.heappush(self._order, (0.0, v))
+        return v
+
+    @staticmethod
+    def _enc(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    def value(self, lit: int):
+        """Current value of a literal: True, False, or UNASSIGNED."""
+        v = self._assign[var_of(lit)]
+        if v is UNASSIGNED:
+            return UNASSIGNED
+        return v if lit > 0 else not v
+
+    def level_of(self, lit: int) -> int:
+        return self._level[var_of(lit)]
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause at the root level.  Returns False if the solver
+        becomes trivially unsat."""
+        if not self.ok:
+            return False
+        if self.decision_level() != 0:
+            raise RuntimeError("add_clause is only valid at decision level 0; "
+                               "use lemmas via the theory hook during search")
+        cl = normalize_clause(lits)
+        if cl is None:
+            return True  # tautology
+        # Remove root-falsified literals; detect satisfaction.
+        out = []
+        for lit in cl:
+            val = self.value(lit)
+            if val is True and self.level_of(lit) == 0:
+                return True
+            if val is False and self.level_of(lit) == 0:
+                continue
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self.ok = False
+                return False
+            return True
+        self._attach(out)
+        return True
+
+    def _attach(self, cl: list[int]) -> None:
+        self._clauses.append(cl)
+        self._watches[self._enc(-cl[0])].append(cl)
+        self._watches[self._enc(-cl[1])].append(cl)
+
+    # ------------------------------------------------------------------
+    # assignment machinery
+    # ------------------------------------------------------------------
+
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason) -> bool:
+        val = self.value(lit)
+        if val is not UNASSIGNED:
+            return val is True
+        v = var_of(lit)
+        self._assign[v] = lit > 0
+        self._level[v] = self.decision_level()
+        self._reason[v] = reason
+        self._phase[v] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self.trail))
+
+    def _backjump(self, level: int) -> None:
+        if self.decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self.trail[bound:]):
+            v = var_of(lit)
+            self._assign[v] = UNASSIGNED
+            self._reason[v] = None
+            heapq.heappush(self._order, (-self._activity[v], v))
+        del self.trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self.trail))
+        if self._th_head > len(self.trail):
+            if self.theory is not None:
+                self.theory.undo_to(len(self.trail))
+            self._th_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation to fixpoint; returns a conflicting clause or None."""
+        while self._qhead < len(self.trail):
+            lit = self.trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watchlist = self._watches[self._enc(lit)]
+            i = 0
+            j = 0
+            n = len(watchlist)
+            while i < n:
+                cl = watchlist[i]
+                i += 1
+                # Ensure the falsified literal is at position 1.
+                if cl[0] == -lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                if self.value(first) is True:
+                    watchlist[j] = cl
+                    j += 1
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(cl)):
+                    if self.value(cl[k]) is not False:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        self._watches[self._enc(-cl[1])].append(cl)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watchlist[j] = cl
+                j += 1
+                if self.value(first) is False:
+                    # Conflict: copy the remaining watches back.
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    self._qhead = len(self.trail)
+                    return cl
+                self._enqueue(first, cl)
+            del watchlist[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for i in range(1, self.nvars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order, (-self._activity[v], v))
+
+    def _analyze(self, confl: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis.  Returns (learnt clause, backjump level); the
+        asserting literal is learnt[0]."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        counter = 0
+        lit = None
+        index = len(self.trail) - 1
+        cl = confl
+        path: list[int] = []
+        while True:
+            for q in cl if lit is None else cl[1:]:
+                v = var_of(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    path.append(v)
+                    self._bump(v)
+                    if self._level[v] >= self.decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next trail literal to resolve on.
+            while not seen[var_of(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            v = var_of(lit)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            cl = self._reason[v]
+            assert cl is not None, "resolving on a decision before UIP"
+            if cl[0] != lit:
+                # reason clause stores the implied literal first
+                cl = [lit] + [x for x in cl if x != lit]
+        # Mark remaining for minimization bookkeeping.
+        for q in learnt[1:]:
+            seen[var_of(q)] = True
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if not self._redundant(q, 0):
+                minimized.append(q)
+        for q in learnt[1:]:
+            seen[var_of(q)] = False
+        for v in path:
+            seen[v] = False
+        learnt = minimized
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            # Second-highest level among the learnt literals.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[var_of(learnt[i])] > self._level[var_of(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = self._level[var_of(learnt[1])]
+        return learnt, bt
+
+    def _redundant(self, lit: int, depth: int) -> bool:
+        """Is ``lit`` implied by the other literals of the learnt clause?"""
+        if depth > 32:
+            return False
+        reason = self._reason[var_of(lit)]
+        if reason is None:
+            return False
+        for q in reason:
+            if q == -lit or q == lit:
+                continue
+            v = var_of(q)
+            if self._seen[v] or self._level[v] == 0:
+                continue
+            if self._reason[v] is None:
+                return False
+            if not self._redundant(q, depth + 1):
+                return False
+        return True
+
+    def _analyze_final(self, a: int) -> list[int]:
+        """Given an assumption literal ``a`` that is currently false, compute
+        a subset of the assumptions (including ``a``) that is unsatisfiable
+        with the clause database.
+
+        Sound because at the moment a false assumption is detected, every
+        reason-less trail variable above level 0 is an assumption decision.
+        """
+        out = {a}
+        v0 = var_of(a)
+        if self._level[v0] == 0 or self.decision_level() == 0:
+            return sorted(out, key=abs)
+        seen = self._seen
+        seen[v0] = True
+        touched = [v0]
+        for tlit in reversed(self.trail[self._trail_lim[0]:]):
+            v = var_of(tlit)
+            if not seen[v]:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                out.add(tlit)
+            else:
+                for q in reason:
+                    qv = var_of(q)
+                    if not seen[qv] and self._level[qv] > 0:
+                        seen[qv] = True
+                        touched.append(qv)
+        for v in touched:
+            seen[v] = False
+        return sorted(out, key=abs)
+
+    # ------------------------------------------------------------------
+    # lemma integration (theory clauses, possibly during search)
+    # ------------------------------------------------------------------
+
+    def _integrate_lemma(self, lits: Sequence[int]) -> list[int] | None:
+        """Add a clause mid-search.  Returns a conflicting clause to analyze
+        (already positioned at the right decision level) or None."""
+        cl = normalize_clause(lits)
+        if cl is None:
+            return None
+        vals = [self.value(l) for l in cl]
+        if any(v is True for v in vals):
+            if len(cl) >= 2:
+                self._sort_for_watch(cl)
+                self._attach(cl)
+            return None
+        unassigned = [l for l, v in zip(cl, vals) if v is UNASSIGNED]
+        if not unassigned:
+            # Falsified: backjump so the conflict is at the max level.
+            maxlvl = max(self.level_of(l) for l in cl)
+            self._backjump(maxlvl)
+            if len(cl) >= 2:
+                self._sort_for_watch(cl)
+                self._attach(cl)
+            if maxlvl == 0 or all(self.level_of(l) == 0 for l in cl):
+                self.ok = False
+            return cl
+        if len(unassigned) == 1:
+            # Unit: backjump to the max level among the falsified literals.
+            rest = [self.level_of(l) for l, v in zip(cl, vals) if v is False]
+            lvl = max(rest) if rest else 0
+            self._backjump(lvl)
+            u = unassigned[0]
+            if len(cl) >= 2:
+                cl.remove(u)
+                cl.insert(0, u)
+                self._sort_for_watch(cl, keep_first=True)
+                self._attach(cl)
+                self._enqueue(u, cl)
+            else:
+                self._enqueue(u, None)
+            return None
+        self._sort_for_watch(cl)
+        self._attach(cl)
+        return None
+
+    def _sort_for_watch(self, cl: list[int], keep_first: bool = False) -> None:
+        """Place two good watch candidates at positions 0 and 1: unassigned
+        or true literals first, then the most recently assigned."""
+
+        def rank(lit: int) -> tuple[int, int]:
+            v = self.value(lit)
+            if v is UNASSIGNED:
+                return (0, 0)
+            if v is True:
+                return (0, -self.level_of(lit))
+            return (1, -self.level_of(lit))
+
+        start = 1 if keep_first else 0
+        rest = sorted(cl[start:], key=rank)
+        cl[start:] = rest
+
+    # ------------------------------------------------------------------
+    # theory synchronization
+    # ------------------------------------------------------------------
+
+    def _theory_sync(self) -> list[int] | None:
+        """Push new trail literals into the theory; returns conflict clause."""
+        if self.theory is None:
+            return None
+        while self._th_head < len(self.trail):
+            lit = self.trail[self._th_head]
+            self._th_head += 1
+            confl = self.theory.assert_lit(lit)
+            if confl is not None:
+                return self._integrate_lemma(confl) or self._propagate_after_lemma()
+        return None
+
+    def _propagate_after_lemma(self) -> list[int] | None:
+        # After a lemma that turned out unit (or satisfied), continue BCP.
+        return self._propagate()
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int | None:
+        while self._order:
+            _, v = heapq.heappop(self._order)
+            if self._assign[v] is UNASSIGNED:
+                return v
+        return None
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Solve under the given assumption literals.
+
+        On False, :attr:`core` holds a subset of the assumptions whose
+        conjunction is already unsatisfiable with the clause database.
+        """
+        self.core = None
+        if not self.ok:
+            self.core = []
+            return False
+        self._assumptions = list(assumptions)
+        self._backjump(0)
+        restart_count = 0
+        conflicts_until_restart = 100 * _luby(restart_count + 1)
+        conflict_budget_used = 0
+        while True:
+            confl = self._propagate()
+            if confl is None:
+                confl = self._theory_sync()
+            if confl is not None:
+                self.conflicts += 1
+                conflict_budget_used += 1
+                if self.decision_level() == 0:
+                    self.ok = False
+                    self.core = []
+                    return False
+                learnt, bt = self._analyze(confl)
+                # Never backjump into the middle of re-deciding assumptions
+                # incorrectly: bt may land inside the assumption prefix; the
+                # decide loop below re-establishes assumptions as needed.
+                self._backjump(bt)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        self.core = []
+                        return False
+                else:
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._var_inc /= self._var_decay
+                continue
+            # No boolean/theory conflict at this fixpoint.
+            if conflict_budget_used >= conflicts_until_restart:
+                conflict_budget_used = 0
+                restart_count += 1
+                conflicts_until_restart = 100 * _luby(restart_count + 1)
+                self._backjump(0)
+                continue
+            # Establish assumptions, then decide.
+            next_lit = None
+            dl = self.decision_level()
+            while dl < len(self._assumptions):
+                a = self._assumptions[dl]
+                val = self.value(a)
+                if val is True:
+                    self._new_decision_level()
+                    dl += 1
+                    continue
+                if val is False:
+                    self.core = self._analyze_final(a)
+                    return False
+                next_lit = a
+                break
+            if next_lit is None:
+                v = self._pick_branch_var()
+                if v is None:
+                    # Full assignment: final theory check.
+                    if self.theory is not None:
+                        lemmas = self.theory.check(final=True)
+                        if lemmas:
+                            confl2 = None
+                            for lm in lemmas:
+                                confl2 = self._integrate_lemma(lm)
+                                if confl2 is not None:
+                                    break
+                            if confl2 is not None:
+                                self.conflicts += 1
+                                if self.decision_level() == 0:
+                                    self.ok = False
+                                    self.core = []
+                                    return False
+                                learnt, bt = self._analyze(confl2)
+                                self._backjump(bt)
+                                if len(learnt) == 1:
+                                    if not self._enqueue(learnt[0], None):
+                                        self.ok = False
+                                        self.core = []
+                                        return False
+                                else:
+                                    self._attach(learnt)
+                                    self._enqueue(learnt[0], learnt)
+                            continue
+                    return True
+                next_lit = v if self._phase[v] else -v
+            self.decisions += 1
+            self._new_decision_level()
+            self._enqueue(next_lit, None)
+
+    # ------------------------------------------------------------------
+    # model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, lit: int) -> bool:
+        val = self.value(lit)
+        if val is UNASSIGNED:
+            raise RuntimeError("no model available (variable unassigned)")
+        return val
+
+    def model(self) -> dict[int, bool]:
+        return {v: self._assign[v] for v in range(1, self.nvars + 1)
+                if self._assign[v] is not UNASSIGNED}

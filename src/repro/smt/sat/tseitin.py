@@ -1,0 +1,182 @@
+"""Tseitin CNF conversion from term-level boolean structure to SAT clauses.
+
+The :class:`CnfBuilder` owns the mapping between theory atoms (interned
+:class:`~repro.smt.terms.Term` objects of boolean sort with no boolean
+connective at the top) and SAT variables.  Boolean structure is named with
+fresh definition variables; both implication directions are emitted so a
+defined literal can be used under either polarity (needed for assumption
+literals and ALL-SAT blocking clauses).
+
+Term-level ``ite`` over Int/Map sorts is purified away into fresh variables
+with definitional constraints before atoms are registered.
+"""
+
+from __future__ import annotations
+
+from ..terms import Op, Sort, Term, TermFactory
+from .solver import SatSolver
+
+
+class CnfBuilder:
+    """Incremental CNF conversion bound to one factory and one solver."""
+
+    def __init__(self, factory: TermFactory, solver: SatSolver):
+        self.factory = factory
+        self.solver = solver
+        self.atom_to_var: dict[int, int] = {}
+        self.var_to_atom: dict[int, Term] = {}
+        self._formula_lit: dict[int, int] = {}
+        self._true_var: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def true_lit(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.solver.new_var()
+            self.solver.add_clause([self._true_var])
+        return self._true_var
+
+    def atom_var(self, atom: Term) -> int:
+        """SAT variable for a theory atom (registering it if new)."""
+        v = self.atom_to_var.get(atom.tid)
+        if v is None:
+            v = self.solver.new_var()
+            self.atom_to_var[atom.tid] = v
+            self.var_to_atom[v] = atom
+        return v
+
+    def atoms(self) -> list[tuple[int, Term]]:
+        return sorted(self.var_to_atom.items())
+
+    # ------------------------------------------------------------------
+
+    def lit_for(self, t: Term) -> int:
+        """A SAT literal equivalent to the boolean term ``t``.
+
+        Adds definitional clauses as needed.  ``t`` must have had its
+        non-boolean ites purified (see :func:`purify_ites`) — atoms that
+        still contain term-level ite are rejected.
+        """
+        cached = self._formula_lit.get(t.tid)
+        if cached is not None:
+            return cached
+        lit = self._build(t)
+        self._formula_lit[t.tid] = lit
+        return lit
+
+    def _build(self, t: Term) -> int:
+        f = self.factory
+        op = t.op
+        if t is f.true:
+            return self.true_lit()
+        if t is f.false:
+            return -self.true_lit()
+        if op is Op.NOT:
+            return -self.lit_for(t.args[0])
+        if op is Op.AND:
+            args = [self.lit_for(a) for a in t.args]
+            v = self.solver.new_var()
+            for a in args:
+                self.solver.add_clause([-v, a])
+            self.solver.add_clause([v] + [-a for a in args])
+            return v
+        if op is Op.OR:
+            args = [self.lit_for(a) for a in t.args]
+            v = self.solver.new_var()
+            for a in args:
+                self.solver.add_clause([v, -a])
+            self.solver.add_clause([-v] + args)
+            return v
+        if op is Op.IMPLIES:
+            a = self.lit_for(t.args[0])
+            b = self.lit_for(t.args[1])
+            v = self.solver.new_var()
+            self.solver.add_clause([-v, -a, b])
+            self.solver.add_clause([v, a])
+            self.solver.add_clause([v, -b])
+            return v
+        if op is Op.IFF:
+            a = self.lit_for(t.args[0])
+            b = self.lit_for(t.args[1])
+            v = self.solver.new_var()
+            self.solver.add_clause([-v, -a, b])
+            self.solver.add_clause([-v, a, -b])
+            self.solver.add_clause([v, a, b])
+            self.solver.add_clause([v, -a, -b])
+            return v
+        if op is Op.ITE:  # boolean-sorted ite
+            c = self.lit_for(t.args[0])
+            a = self.lit_for(t.args[1])
+            b = self.lit_for(t.args[2])
+            v = self.solver.new_var()
+            self.solver.add_clause([-v, -c, a])
+            self.solver.add_clause([-v, c, b])
+            self.solver.add_clause([v, -c, -a])
+            self.solver.add_clause([v, c, -b])
+            return v
+        # Atom (including boolean variables and boolean-sorted APPLYs).
+        if _contains_term_ite(t):
+            raise ValueError(
+                f"atom contains an unpurified term-level ite: {t!r}; "
+                "run purify_ites first")
+        return self.atom_var(t)
+
+    def assert_formula(self, t: Term) -> None:
+        self.solver.add_clause([self.lit_for(t)])
+
+    def assert_implication(self, lit: int, t: Term) -> None:
+        """Add ``lit -> t`` (used for indicator-guarded constraints)."""
+        self.solver.add_clause([-lit, self.lit_for(t)])
+
+
+def _contains_term_ite(t: Term) -> bool:
+    stack = [t]
+    seen: set[int] = set()
+    while stack:
+        n = stack.pop()
+        if n.tid in seen:
+            continue
+        seen.add(n.tid)
+        if n.op is Op.ITE and n.sort is not Sort.BOOL:
+            return True
+        stack.extend(n.args)
+    return False
+
+
+def purify_ites(factory: TermFactory, t: Term) -> tuple[Term, list[Term]]:
+    """Replace every Int/Map-sorted ``ite`` in ``t`` by a fresh variable.
+
+    Returns the rewritten term plus definitional formulas of the shape
+    ``(c => x = then) && (!c => x = else)``.  The definitions are
+    polarity-independent (the fresh variable is fully constrained), so the
+    caller may assert them at the top level regardless of where the ite
+    occurred.  Definitions are themselves purified recursively.
+    """
+    defs: list[Term] = []
+    cache: dict[int, Term] = {}
+
+    def go(node: Term) -> Term:
+        hit = cache.get(node.tid)
+        if hit is not None:
+            return hit
+        if not node.args:
+            cache[node.tid] = node
+            return node
+        new_args = tuple(go(a) for a in node.args)
+        if node.op is Op.ITE and node.sort is not Sort.BOOL:
+            c, a, b = new_args
+            x = factory.fresh_var("ite", node.sort)
+            defs.append(factory.implies(c, factory.eq(x, a)))
+            defs.append(factory.implies(factory.not_(c), factory.eq(x, b)))
+            cache[node.tid] = x
+            return x
+        if all(na is oa for na, oa in zip(new_args, node.args)):
+            res = node
+        else:
+            from ..terms import _rebuild
+            res = _rebuild(factory, node, new_args)
+        cache[node.tid] = res
+        return res
+
+    out = go(t)
+    return out, defs

@@ -1,0 +1,542 @@
+"""Hash-consed term DAG for the SMT layer.
+
+Terms are immutable and interned: structurally equal terms are the *same*
+object, so identity comparison and ``id``-keyed dictionaries are sound and
+fast.  The term language is quantifier-free first-order logic over three
+sorts:
+
+* ``INT``  — mathematical integers,
+* ``BOOL`` — booleans,
+* ``MAP``  — total maps from integers to integers (the array theory).
+
+Operators are a closed set (see :class:`Op`).  Non-linear multiplication is
+*representable* but the LIA theory solver treats it as an uninterpreted
+function — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator
+
+
+class Sort(enum.Enum):
+    """The three sorts of the term language."""
+
+    INT = "Int"
+    BOOL = "Bool"
+    MAP = "Map"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Op(enum.Enum):
+    """Term constructors."""
+
+    # Leaves
+    VAR = "var"          # payload: (name, sort)
+    INTCONST = "intconst"  # payload: int value
+    TRUE = "true"
+    FALSE = "false"
+
+    # Integer operators
+    ADD = "+"
+    SUB = "-"
+    NEG = "neg"
+    MUL = "*"
+    ITE = "ite"          # (BOOL, T, T) -> T
+
+    # Map operators
+    SELECT = "select"    # (MAP, INT) -> INT
+    STORE = "store"      # (MAP, INT, INT) -> MAP
+
+    # Uninterpreted function application; payload: (name, result sort)
+    APPLY = "apply"
+
+    # Atoms
+    EQ = "="
+    LE = "<="
+    LT = "<"
+
+    # Boolean connectives
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    IMPLIES = "=>"
+    IFF = "<=>"
+
+
+_LEAF_OPS = frozenset({Op.VAR, Op.INTCONST, Op.TRUE, Op.FALSE})
+_BOOL_OPS = frozenset({Op.NOT, Op.AND, Op.OR, Op.IMPLIES, Op.IFF})
+_ATOM_OPS = frozenset({Op.EQ, Op.LE, Op.LT})
+
+
+class Term:
+    """An interned term.  Do not construct directly; use :class:`TermFactory`."""
+
+    __slots__ = ("op", "args", "payload", "sort", "tid", "__weakref__")
+
+    def __init__(self, op: Op, args: tuple["Term", ...], payload, sort: Sort, tid: int):
+        self.op = op
+        self.args = args
+        self.payload = payload
+        self.sort = sort
+        self.tid = tid
+
+    def __repr__(self) -> str:
+        return f"Term({pretty_term(self)})"
+
+    # Interned: identity semantics inherited from object are correct.
+
+    def is_var(self) -> bool:
+        return self.op is Op.VAR
+
+    def is_const(self) -> bool:
+        return self.op in (Op.INTCONST, Op.TRUE, Op.FALSE)
+
+    def is_atom(self) -> bool:
+        """An atom: a boolean-sorted term with no boolean connective at top."""
+        if self.sort is not Sort.BOOL:
+            return False
+        return self.op not in _BOOL_OPS and self.op not in (Op.TRUE, Op.FALSE)
+
+    @property
+    def name(self) -> str:
+        if self.op is Op.VAR:
+            return self.payload[0]
+        if self.op is Op.APPLY:
+            return self.payload[0]
+        raise ValueError(f"term {self!r} has no name")
+
+    @property
+    def value(self) -> int:
+        if self.op is Op.INTCONST:
+            return self.payload
+        raise ValueError(f"term {self!r} has no integer value")
+
+
+class TermFactory:
+    """Builds and interns terms.
+
+    One factory per logical context.  All terms that will meet inside a
+    solver must come from the same factory.
+    """
+
+    def __init__(self) -> None:
+        self._intern: dict[tuple, Term] = {}
+        self._counter = itertools.count()
+        self.true = self._mk(Op.TRUE, (), None, Sort.BOOL)
+        self.false = self._mk(Op.FALSE, (), None, Sort.BOOL)
+        self._fresh_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+
+    def _mk(self, op: Op, args: tuple[Term, ...], payload, sort: Sort) -> Term:
+        key = (op, tuple(a.tid for a in args), payload)
+        t = self._intern.get(key)
+        if t is None:
+            t = Term(op, args, payload, sort, next(self._counter))
+            self._intern[key] = t
+        return t
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def var(self, name: str, sort: Sort) -> Term:
+        return self._mk(Op.VAR, (), (name, sort), sort)
+
+    def int_var(self, name: str) -> Term:
+        return self.var(name, Sort.INT)
+
+    def bool_var(self, name: str) -> Term:
+        return self.var(name, Sort.BOOL)
+
+    def map_var(self, name: str) -> Term:
+        return self.var(name, Sort.MAP)
+
+    def fresh_var(self, prefix: str, sort: Sort) -> Term:
+        """A variable guaranteed not to collide with earlier ``fresh_var`` names."""
+        return self.var(f"{prefix}!{next(self._fresh_counter)}", sort)
+
+    def intconst(self, value: int) -> Term:
+        return self._mk(Op.INTCONST, (), int(value), Sort.INT)
+
+    def boolconst(self, value: bool) -> Term:
+        return self.true if value else self.false
+
+    # ------------------------------------------------------------------
+    # integer operators (with light constant folding)
+    # ------------------------------------------------------------------
+
+    def add(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.INT), self._want(b, Sort.INT)
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.intconst(a.value + b.value)
+        if a.op is Op.INTCONST and a.value == 0:
+            return b
+        if b.op is Op.INTCONST and b.value == 0:
+            return a
+        return self._mk(Op.ADD, (a, b), None, Sort.INT)
+
+    def sub(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.INT), self._want(b, Sort.INT)
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.intconst(a.value - b.value)
+        if b.op is Op.INTCONST and b.value == 0:
+            return a
+        if a is b:
+            return self.intconst(0)
+        return self._mk(Op.SUB, (a, b), None, Sort.INT)
+
+    def neg(self, a: Term) -> Term:
+        self._want(a, Sort.INT)
+        if a.op is Op.INTCONST:
+            return self.intconst(-a.value)
+        return self._mk(Op.NEG, (a,), None, Sort.INT)
+
+    def mul(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.INT), self._want(b, Sort.INT)
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.intconst(a.value * b.value)
+        if a.op is Op.INTCONST and a.value == 1:
+            return b
+        if b.op is Op.INTCONST and b.value == 1:
+            return a
+        if (a.op is Op.INTCONST and a.value == 0) or (b.op is Op.INTCONST and b.value == 0):
+            return self.intconst(0)
+        return self._mk(Op.MUL, (a, b), None, Sort.INT)
+
+    def ite(self, c: Term, t: Term, e: Term) -> Term:
+        self._want(c, Sort.BOOL)
+        if t.sort is not e.sort:
+            raise SortError(f"ite branches disagree: {t.sort} vs {e.sort}")
+        if c is self.true:
+            return t
+        if c is self.false:
+            return e
+        if t is e:
+            return t
+        return self._mk(Op.ITE, (c, t, e), None, t.sort)
+
+    # ------------------------------------------------------------------
+    # maps
+    # ------------------------------------------------------------------
+
+    def select(self, m: Term, i: Term) -> Term:
+        self._want(m, Sort.MAP), self._want(i, Sort.INT)
+        return self._mk(Op.SELECT, (m, i), None, Sort.INT)
+
+    def store(self, m: Term, i: Term, v: Term) -> Term:
+        self._want(m, Sort.MAP), self._want(i, Sort.INT), self._want(v, Sort.INT)
+        return self._mk(Op.STORE, (m, i, v), None, Sort.MAP)
+
+    # ------------------------------------------------------------------
+    # uninterpreted functions
+    # ------------------------------------------------------------------
+
+    def apply(self, name: str, args: tuple[Term, ...] | list[Term], sort: Sort = Sort.INT) -> Term:
+        return self._mk(Op.APPLY, tuple(args), (name, sort), sort)
+
+    # ------------------------------------------------------------------
+    # atoms
+    # ------------------------------------------------------------------
+
+    def eq(self, a: Term, b: Term) -> Term:
+        if a.sort is not b.sort:
+            raise SortError(f"eq over different sorts: {a.sort} vs {b.sort}")
+        if a is b:
+            return self.true
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.boolconst(a.value == b.value)
+        if a.sort is Sort.BOOL:
+            return self.iff(a, b)
+        # canonical argument order for symmetry
+        if b.tid < a.tid:
+            a, b = b, a
+        return self._mk(Op.EQ, (a, b), None, Sort.BOOL)
+
+    def ne(self, a: Term, b: Term) -> Term:
+        return self.not_(self.eq(a, b))
+
+    def le(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.INT), self._want(b, Sort.INT)
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.boolconst(a.value <= b.value)
+        return self._mk(Op.LE, (a, b), None, Sort.BOOL)
+
+    def lt(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.INT), self._want(b, Sort.INT)
+        if a.op is Op.INTCONST and b.op is Op.INTCONST:
+            return self.boolconst(a.value < b.value)
+        return self._mk(Op.LT, (a, b), None, Sort.BOOL)
+
+    def ge(self, a: Term, b: Term) -> Term:
+        return self.le(b, a)
+
+    def gt(self, a: Term, b: Term) -> Term:
+        return self.lt(b, a)
+
+    # ------------------------------------------------------------------
+    # boolean connectives (light simplification; NOT is involutive)
+    # ------------------------------------------------------------------
+
+    def not_(self, a: Term) -> Term:
+        self._want(a, Sort.BOOL)
+        if a is self.true:
+            return self.false
+        if a is self.false:
+            return self.true
+        if a.op is Op.NOT:
+            return a.args[0]
+        return self._mk(Op.NOT, (a,), None, Sort.BOOL)
+
+    def and_(self, *conjuncts: Term) -> Term:
+        flat: list[Term] = []
+        for c in conjuncts:
+            self._want(c, Sort.BOOL)
+            if c is self.false:
+                return self.false
+            if c is self.true:
+                continue
+            if c.op is Op.AND:
+                flat.extend(c.args)
+            else:
+                flat.append(c)
+        seen: dict[int, Term] = {}
+        for c in flat:
+            seen.setdefault(c.tid, c)
+        flat = list(seen.values())
+        if not flat:
+            return self.true
+        if len(flat) == 1:
+            return flat[0]
+        return self._mk(Op.AND, tuple(flat), None, Sort.BOOL)
+
+    def or_(self, *disjuncts: Term) -> Term:
+        flat: list[Term] = []
+        for d in disjuncts:
+            self._want(d, Sort.BOOL)
+            if d is self.true:
+                return self.true
+            if d is self.false:
+                continue
+            if d.op is Op.OR:
+                flat.extend(d.args)
+            else:
+                flat.append(d)
+        seen: dict[int, Term] = {}
+        for d in flat:
+            seen.setdefault(d.tid, d)
+        flat = list(seen.values())
+        if not flat:
+            return self.false
+        if len(flat) == 1:
+            return flat[0]
+        return self._mk(Op.OR, tuple(flat), None, Sort.BOOL)
+
+    def implies(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.BOOL), self._want(b, Sort.BOOL)
+        if a is self.true:
+            return b
+        if a is self.false or b is self.true:
+            return self.true
+        if b is self.false:
+            return self.not_(a)
+        return self._mk(Op.IMPLIES, (a, b), None, Sort.BOOL)
+
+    def iff(self, a: Term, b: Term) -> Term:
+        self._want(a, Sort.BOOL), self._want(b, Sort.BOOL)
+        if a is b:
+            return self.true
+        if a is self.true:
+            return b
+        if b is self.true:
+            return a
+        if a is self.false:
+            return self.not_(b)
+        if b is self.false:
+            return self.not_(a)
+        if b.tid < a.tid:
+            a, b = b, a
+        return self._mk(Op.IFF, (a, b), None, Sort.BOOL)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _want(t: Term, sort: Sort) -> None:
+        if t.sort is not sort:
+            raise SortError(f"expected {sort} term, got {t.sort}: {pretty_term(t)}")
+
+
+class SortError(TypeError):
+    """Raised when a term is built with arguments of the wrong sort."""
+
+
+# ----------------------------------------------------------------------
+# traversal utilities
+# ----------------------------------------------------------------------
+
+
+def subterms(t: Term) -> Iterator[Term]:
+    """Iterate all distinct subterms of ``t`` (including ``t``), post-order."""
+    seen: set[int] = set()
+    stack: list[tuple[Term, bool]] = [(t, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.tid in seen:
+            continue
+        if expanded:
+            seen.add(node.tid)
+            yield node
+        else:
+            stack.append((node, True))
+            for a in node.args:
+                if a.tid not in seen:
+                    stack.append((a, False))
+
+
+def free_vars(t: Term) -> set[Term]:
+    """All VAR leaves occurring in ``t``."""
+    return {s for s in subterms(t) if s.op is Op.VAR}
+
+
+def atoms_of(t: Term) -> set[Term]:
+    """All atoms occurring in the boolean structure of ``t``.
+
+    Descends through boolean connectives only; an atom's own subterms are
+    not searched for further atoms (an atom is a leaf of the boolean
+    skeleton).  Boolean variables count as atoms.  ITE over non-boolean sort
+    is opaque, but its condition — being boolean structure nested inside a
+    term — is *not* treated as a boolean-skeleton atom here; callers that
+    need term-level ite conditions should lower ites first.
+    """
+    out: set[Term] = set()
+    stack = [t]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if node.tid in seen:
+            continue
+        seen.add(node.tid)
+        if node.op in _BOOL_OPS:
+            stack.extend(node.args)
+        elif node.op in (Op.TRUE, Op.FALSE):
+            continue
+        else:
+            out.add(node)
+    return out
+
+
+def substitute(factory: TermFactory, t: Term, mapping: dict[Term, Term]) -> Term:
+    """Simultaneous substitution of terms (keys must be interned terms)."""
+    cache: dict[int, Term] = {k.tid: v for k, v in mapping.items()}
+
+    def go(node: Term) -> Term:
+        hit = cache.get(node.tid)
+        if hit is not None:
+            return hit
+        if not node.args:
+            cache[node.tid] = node
+            return node
+        new_args = tuple(go(a) for a in node.args)
+        if all(na is a for na, a in zip(new_args, node.args)):
+            res = node
+        else:
+            res = _rebuild(factory, node, new_args)
+        cache[node.tid] = res
+        return res
+
+    return go(t)
+
+
+def _rebuild(f: TermFactory, node: Term, args: tuple[Term, ...]) -> Term:
+    op = node.op
+    if op is Op.ADD:
+        return f.add(*args)
+    if op is Op.SUB:
+        return f.sub(*args)
+    if op is Op.NEG:
+        return f.neg(*args)
+    if op is Op.MUL:
+        return f.mul(*args)
+    if op is Op.ITE:
+        return f.ite(*args)
+    if op is Op.SELECT:
+        return f.select(*args)
+    if op is Op.STORE:
+        return f.store(*args)
+    if op is Op.APPLY:
+        return f.apply(node.payload[0], args, node.payload[1])
+    if op is Op.EQ:
+        return f.eq(*args)
+    if op is Op.LE:
+        return f.le(*args)
+    if op is Op.LT:
+        return f.lt(*args)
+    if op is Op.NOT:
+        return f.not_(*args)
+    if op is Op.AND:
+        return f.and_(*args)
+    if op is Op.OR:
+        return f.or_(*args)
+    if op is Op.IMPLIES:
+        return f.implies(*args)
+    if op is Op.IFF:
+        return f.iff(*args)
+    raise AssertionError(f"cannot rebuild leaf op {op}")
+
+
+# ----------------------------------------------------------------------
+# pretty printing
+# ----------------------------------------------------------------------
+
+_INFIX = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*",
+    Op.EQ: "==", Op.LE: "<=", Op.LT: "<",
+    Op.AND: "&&", Op.OR: "||", Op.IMPLIES: "==>", Op.IFF: "<==>",
+}
+
+
+def pretty_term(t: Term) -> str:
+    """A readable (re-parseable by humans, not machines) rendering."""
+    op = t.op
+    if op is Op.VAR:
+        return t.payload[0]
+    if op is Op.INTCONST:
+        return str(t.payload)
+    if op is Op.TRUE:
+        return "true"
+    if op is Op.FALSE:
+        return "false"
+    if op is Op.NOT:
+        return f"!{_paren(t.args[0])}"
+    if op is Op.NEG:
+        return f"-{_paren(t.args[0])}"
+    if op is Op.SELECT:
+        return f"{_paren(t.args[0])}[{pretty_term(t.args[1])}]"
+    if op is Op.STORE:
+        m, i, v = t.args
+        return f"{_paren(m)}[{pretty_term(i)} := {pretty_term(v)}]"
+    if op is Op.APPLY:
+        inner = ", ".join(pretty_term(a) for a in t.args)
+        return f"{t.payload[0]}({inner})"
+    if op is Op.ITE:
+        c, a, b = t.args
+        return f"(if {pretty_term(c)} then {pretty_term(a)} else {pretty_term(b)})"
+    if op in _INFIX:
+        sym = _INFIX[op]
+        return f" {sym} ".join(_paren(a) for a in t.args)
+    raise AssertionError(f"unhandled op {op}")
+
+
+def _paren(t: Term) -> str:
+    if t.op in _INFIX and len(t.args) > 1:
+        return f"({pretty_term(t)})"
+    return pretty_term(t)

@@ -1,0 +1,75 @@
+"""Array (map) reasoning by eager read-over-write elimination.
+
+Our VC generator produces map terms that are *store chains over map
+variables* (SSA substitution inlines every map update), and only ever reads
+them with ``select``.  Under that discipline the McCarthy axioms can be
+applied eagerly as a rewrite::
+
+    select(store(m, j, v), i)  ~~>  ite(i = j, v, select(m, i))
+
+After the rewrite (applied to fixpoint, bottom-up) every ``select`` has a
+plain map variable as its first argument and is handled as an uninterpreted
+binary function by the congruence closure — which is complete for this
+fragment because no map-equality atoms over store terms remain.
+
+The resulting ``ite`` terms are later purified by
+:func:`repro.smt.sat.tseitin.purify_ites`.
+"""
+
+from __future__ import annotations
+
+from ..terms import Op, Term, TermFactory, _rebuild
+
+
+def eliminate_stores(factory: TermFactory, t: Term) -> Term:
+    """Rewrite all read-over-write patterns in ``t`` to ites, to fixpoint."""
+    cache: dict[int, Term] = {}
+
+    def go(node: Term) -> Term:
+        hit = cache.get(node.tid)
+        if hit is not None:
+            return hit
+        if not node.args:
+            cache[node.tid] = node
+            return node
+        new_args = tuple(go(a) for a in node.args)
+        if node.op is Op.SELECT and new_args[0].op is Op.STORE:
+            res = go(_push_select(factory, new_args[0], new_args[1]))
+        elif node.op is Op.SELECT and new_args[0].op is Op.ITE:
+            # select(ite(c, m1, m2), i) ~~> ite(c, select(m1,i), select(m2,i))
+            c, m1, m2 = new_args[0].args
+            res = go(factory.ite(c,
+                                 factory.select(m1, new_args[1]),
+                                 factory.select(m2, new_args[1])))
+        elif all(na is oa for na, oa in zip(new_args, node.args)):
+            res = node
+        else:
+            res = _rebuild(factory, node, new_args)
+        cache[node.tid] = res
+        return res
+
+    return go(t)
+
+
+def _push_select(factory: TermFactory, store: Term, idx: Term) -> Term:
+    m, j, v = store.args
+    if idx is j:
+        return v
+    if idx.op is Op.INTCONST and j.op is Op.INTCONST and idx.value != j.value:
+        return factory.select(m, idx)
+    return factory.ite(factory.eq(idx, j), v, factory.select(m, idx))
+
+
+def contains_select_over_store(t: Term) -> bool:
+    """Diagnostic used by the solver facade to enforce the discipline."""
+    stack = [t]
+    seen: set[int] = set()
+    while stack:
+        n = stack.pop()
+        if n.tid in seen:
+            continue
+        seen.add(n.tid)
+        if n.op is Op.SELECT and n.args[0].op is Op.STORE:
+            return True
+        stack.extend(n.args)
+    return False

@@ -1,0 +1,266 @@
+"""Congruence closure for equality with uninterpreted functions.
+
+The solver follows Nieuwenhuis–Oliveras: a union-find over term nodes, a
+signature table driving congruence propagation, and a *proof forest* for
+generating explanations (minimal-ish sets of asserted premises implying a
+derived equality).
+
+The solver is assert-only: there is no internal backtracking.  The owning
+:class:`~repro.smt.dpllt.TheoryCore` rebuilds it from the surviving prefix
+of facts after a SAT backjump, which is simple, obviously correct, and fast
+enough at the procedure sizes this project analyzes.
+
+Premise tokens are opaque hashables supplied by the caller (the DPLL(T)
+layer uses ``('lit', sat_literal)``); explanations are sets of tokens.
+
+Interpreted integer constants are built in: two distinct ``INTCONST`` terms
+can never be merged (a conflict is reported with an explanation).
+Arithmetic operators appearing inside terms are treated as uninterpreted
+here — the LIA solver owns their semantics.
+"""
+
+from __future__ import annotations
+
+from ..terms import Op, Term
+
+
+class EufConflict(Exception):
+    """Internal signal carrying the conflicting premise set."""
+
+    def __init__(self, premises: set):
+        super().__init__("euf conflict")
+        self.premises = premises
+
+
+class EufSolver:
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._terms: dict[int, Term] = {}
+        self._parent: dict[int, int] = {}
+        self._rank: dict[int, int] = {}
+        self._uses: dict[int, list[int]] = {}
+        self._sig: dict[tuple, int] = {}
+        self._cursig: dict[int, tuple] = {}
+        # proof forest: tid -> (parent tid, reason); reason is a premise
+        # token or ('cong', tid_u, tid_v)
+        self._pf: dict[int, tuple[int, object]] = {}
+        # per-root: other_root -> (term_a_tid, term_b_tid, reason)
+        self._diseqs: dict[int, dict[int, tuple[int, int, object]]] = {}
+        # per-root: (int value, witness tid)
+        self._constval: dict[int, tuple[int, int]] = {}
+        self._pending: list[tuple[int, int, object]] = []
+
+    # ------------------------------------------------------------------
+    # term registration
+    # ------------------------------------------------------------------
+
+    def add_term(self, t: Term) -> None:
+        if t.tid in self._terms:
+            return
+        for a in t.args:
+            self.add_term(a)
+        tid = t.tid
+        self._terms[tid] = t
+        self._parent[tid] = tid
+        self._rank[tid] = 0
+        self._uses[tid] = []
+        self._diseqs[tid] = {}
+        if t.op is Op.INTCONST:
+            self._constval[tid] = (t.value, tid)
+        if t.args:
+            sig = self._signature(t)
+            other = self._sig.get(sig)
+            self._cursig[tid] = sig
+            if other is not None and other != tid:
+                self._pending.append((tid, other, ("cong", tid, other)))
+            else:
+                self._sig[sig] = tid
+            for a in t.args:
+                self._uses[self._find(a.tid)].append(tid)
+
+    def _signature(self, t: Term) -> tuple:
+        return (t.op, t.payload, tuple(self._find(a.tid) for a in t.args))
+
+    # ------------------------------------------------------------------
+    # union-find
+    # ------------------------------------------------------------------
+
+    def _find(self, tid: int) -> int:
+        root = tid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[tid] != root:  # path compression
+            self._parent[tid], tid = root, self._parent[tid]
+        return root
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        if a.tid not in self._terms or b.tid not in self._terms:
+            return a is b
+        return self._find(a.tid) == self._find(b.tid)
+
+    def class_of(self, t: Term) -> list[Term]:
+        root = self._find(t.tid)
+        return [self._terms[tid] for tid in self._terms
+                if self._find(tid) == root]
+
+    def known_terms(self) -> list[Term]:
+        return list(self._terms.values())
+
+    # ------------------------------------------------------------------
+    # assertions
+    # ------------------------------------------------------------------
+
+    def assert_eq(self, a: Term, b: Term, reason: object) -> set | None:
+        """Merge ``a`` and ``b``.  Returns a conflict premise set or None."""
+        self.add_term(a)
+        self.add_term(b)
+        self._pending.append((a.tid, b.tid, reason))
+        try:
+            self._process()
+        except EufConflict as c:
+            return c.premises
+        return None
+
+    def assert_diseq(self, a: Term, b: Term, reason: object) -> set | None:
+        self.add_term(a)
+        self.add_term(b)
+        try:
+            self._process()  # flush congruences from add_term
+            ra, rb = self._find(a.tid), self._find(b.tid)
+            if ra == rb:
+                prem = self.explain(a, b)
+                prem.add(reason)
+                return prem
+            self._diseqs[ra][rb] = (a.tid, b.tid, reason)
+            self._diseqs[rb][ra] = (a.tid, b.tid, reason)
+        except EufConflict as c:
+            return c.premises
+        return None
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+
+    def _process(self) -> None:
+        while self._pending:
+            ta, tb, reason = self._pending.pop()
+            ra, rb = self._find(ta), self._find(tb)
+            if ra == rb:
+                continue
+            # proof forest edge between the *terms*, not the roots
+            self._pf_reroot(ta)
+            self._pf[ta] = (tb, reason)
+            # union by rank: fold the smaller class into the larger
+            if self._rank[ra] > self._rank[rb]:
+                ra, rb = rb, ra  # ra is the loser
+            elif self._rank[ra] == self._rank[rb]:
+                self._rank[rb] += 1
+            self._parent[ra] = rb
+            # constant-value clash?
+            ca, cb = self._constval.get(ra), self._constval.get(rb)
+            if ca is not None and cb is not None and ca[0] != cb[0]:
+                prem = self.explain(self._terms[ca[1]], self._terms[cb[1]])
+                raise EufConflict(prem)
+            if ca is not None and cb is None:
+                self._constval[rb] = ca
+            # disequality violation?
+            for other, (xa, xb, dreason) in list(self._diseqs[ra].items()):
+                other_now = self._find(other)
+                if other_now == rb:
+                    prem = self.explain(self._terms[xa], self._terms[xb])
+                    prem.add(dreason)
+                    raise EufConflict(prem)
+                self._diseqs[rb][other_now] = (xa, xb, dreason)
+                self._diseqs[other_now][rb] = (xa, xb, dreason)
+                self._diseqs[other_now].pop(ra, None)
+            self._diseqs[ra].clear()
+            # recompute signatures of the loser's parents
+            moved = self._uses[ra]
+            self._uses[ra] = []
+            for u in moved:
+                oldsig = self._cursig.get(u)
+                if oldsig is not None and self._sig.get(oldsig) == u:
+                    del self._sig[oldsig]
+                newsig = self._signature(self._terms[u])
+                self._cursig[u] = newsig
+                other = self._sig.get(newsig)
+                if other is not None and other != u:
+                    self._pending.append((u, other, ("cong", u, other)))
+                else:
+                    self._sig[newsig] = u
+            self._uses[rb].extend(moved)
+
+    # ------------------------------------------------------------------
+    # proof forest & explanations
+    # ------------------------------------------------------------------
+
+    def _pf_reroot(self, tid: int) -> None:
+        """Reverse proof-forest edges so ``tid`` becomes the root of its tree."""
+        path: list[tuple[int, int, object]] = []
+        x = tid
+        while x in self._pf:
+            parent, reason = self._pf[x]
+            path.append((x, parent, reason))
+            x = parent
+        for child, _, _ in path:
+            del self._pf[child]
+        for child, parent, reason in path:
+            self._pf[parent] = (child, reason)
+
+    def explain(self, a: Term, b: Term) -> set:
+        """Premise tokens whose conjunction entails ``a = b``."""
+        out: set = set()
+        seen_pairs: set[frozenset[int]] = set()
+        self._explain_pair(a.tid, b.tid, out, seen_pairs)
+        return out
+
+    def _explain_pair(self, ta: int, tb: int, out: set,
+                      seen_pairs: set[frozenset[int]]) -> None:
+        if ta == tb:
+            return
+        key = frozenset((ta, tb))
+        if key in seen_pairs:
+            return
+        seen_pairs.add(key)
+        # Find the paths to the proof-forest root and the common ancestor.
+        anc_a: dict[int, int] = {}
+        x = ta
+        i = 0
+        while True:
+            anc_a[x] = i
+            edge = self._pf.get(x)
+            if edge is None:
+                break
+            x = edge[0]
+            i += 1
+        x = tb
+        while x not in anc_a:
+            edge = self._pf.get(x)
+            assert edge is not None, "terms not connected in proof forest"
+            x = edge[0]
+        common = x
+        for start in (ta, tb):
+            x = start
+            while x != common:
+                parent, reason = self._pf[x]
+                if isinstance(reason, tuple) and len(reason) == 3 and reason[0] == "cong":
+                    u = self._terms[reason[1]]
+                    v = self._terms[reason[2]]
+                    for au, av in zip(u.args, v.args):
+                        self._explain_pair(au.tid, av.tid, out, seen_pairs)
+                else:
+                    out.add(reason)
+                x = parent
+
+    # ------------------------------------------------------------------
+    # queries used by the combination layer
+    # ------------------------------------------------------------------
+
+    def equivalence_classes(self) -> dict[int, list[Term]]:
+        """root tid -> members, over all registered terms."""
+        classes: dict[int, list[Term]] = {}
+        for tid, t in self._terms.items():
+            classes.setdefault(self._find(tid), []).append(t)
+        return classes

@@ -1,0 +1,317 @@
+"""Linear integer arithmetic by explained Fourier–Motzkin elimination.
+
+Constraints are linear forms over opaque variable keys (the DPLL(T) layer
+uses term ids of non-arithmetic subterms).  Coefficients are exact
+``Fraction`` values; every constraint carries a frozenset of *premise
+tokens* so an infeasibility verdict comes with an explanation (the union of
+the premises of the constraints combined into the contradiction).
+
+Pipeline per :func:`check` call:
+
+1. Gaussian elimination of equations (with per-equation integer gcd test).
+2. Integer tightening of inequalities (normalize to integer coefficients,
+   divide by the gcd of the variable coefficients, floor the constant).
+3. Fourier–Motzkin elimination, cheapest variable first.
+4. Disequalities last: ``e != 0`` conflicts iff both ``e <= -1`` and
+   ``e >= 1`` are infeasible with the rest.
+
+Completeness note (see DESIGN.md): steps 1–3 decide rational feasibility
+exactly; the gcd/floor tightenings give integer reasoning sufficient for
+the unit-coefficient constraints our VC generator emits.  Work is bounded
+by a constraint budget; exceeding it raises :class:`LiaBudgetExceeded`,
+which the analysis layer reports as a timeout (the paper's TO column).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import floor, gcd
+
+
+class LiaBudgetExceeded(Exception):
+    """The Fourier–Motzkin constraint budget was exhausted."""
+
+
+# A linear form is dict[key, Fraction]; a constraint is
+# (coeffs, const, premises) meaning  sum(coeffs * x) + const <= 0  (an
+# inequality) or == 0 (an equation).
+
+LinForm = dict
+Constraint = tuple
+
+
+def lin_add(a: LinForm, b: LinForm) -> LinForm:
+    out = dict(a)
+    for k, v in b.items():
+        nv = out.get(k, Fraction(0)) + v
+        if nv:
+            out[k] = nv
+        else:
+            out.pop(k, None)
+    return out
+
+
+def lin_scale(a: LinForm, s: Fraction) -> LinForm:
+    if not s:
+        return {}
+    return {k: v * s for k, v in a.items()}
+
+
+def _tighten(coeffs: LinForm, const: Fraction) -> tuple[LinForm, Fraction]:
+    """Integer tightening of ``sum coeffs + const <= 0``."""
+    if not coeffs:
+        return coeffs, const
+    denom = 1
+    for v in coeffs.values():
+        denom = denom * v.denominator // gcd(denom, v.denominator)
+    denom = denom * const.denominator // gcd(denom, const.denominator)
+    ints = {k: int(v * denom) for k, v in coeffs.items()}
+    c = const * denom
+    g = 0
+    for v in ints.values():
+        g = gcd(g, abs(v))
+    if g == 0:
+        return {}, const
+    # sum a_i x_i <= -c  ->  sum (a_i/g) x_i <= floor(-c/g)
+    rhs = Fraction(floor(-c / g))
+    new_coeffs = {k: Fraction(v, g) for k, v in ints.items()}
+    return new_coeffs, -rhs
+
+
+_MISS = object()
+
+
+class _Presolved:
+    """Result of Gaussian elimination: either a conflict core, or the
+    equation-free tightened inequalities plus the substitution chain that
+    maps further side constraints into the reduced space."""
+
+    __slots__ = ("conflict", "reduced", "subs")
+
+    def __init__(self, conflict=None, reduced=(), subs=()):
+        self.conflict = conflict
+        self.reduced = reduced
+        self.subs = subs
+
+    def apply(self, constraint):
+        coeffs, const, prem = constraint
+        coeffs = dict(coeffs)
+        prem = frozenset(prem)
+        for var, sub_coeffs, sub_const, sub_prem in self.subs:
+            c = coeffs.get(var)
+            if not c:
+                continue
+            del coeffs[var]
+            coeffs = lin_add(coeffs, lin_scale(sub_coeffs, c))
+            const = const + c * sub_const
+            prem = prem | sub_prem
+        return (coeffs, const, prem)
+
+
+class LiaSolver:
+    """Stateless checker with memoization across calls."""
+
+    def __init__(self, budget: int = 20000):
+        self.budget = budget
+        self._memo: dict = {}
+        self._presolve_memo: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def check(self, eqs: list[Constraint], ineqs: list[Constraint],
+              diseqs: list[Constraint]) -> set | None:
+        """Return a conflict premise set, or None if feasible."""
+        pre = self._presolve(eqs, ineqs)
+        if pre.conflict is not None:
+            return set(pre.conflict)
+        core = self._fm(pre.reduced)
+        if core is not None:
+            return set(core)
+        for dcoeffs, dconst, dprem in diseqs:
+            lo = pre.apply((dict(dcoeffs), dconst + 1, frozenset()))
+            hi = pre.apply((lin_scale(dcoeffs, Fraction(-1)),
+                            -dconst + 1, frozenset()))
+            core_lo = self._fm_with(pre.reduced, lo)
+            if core_lo is None:
+                continue
+            core_hi = self._fm_with(pre.reduced, hi)
+            if core_hi is None:
+                continue
+            return set(core_lo) | set(core_hi) | set(dprem)
+        return None
+
+    def entails_eq(self, eqs: list[Constraint], ineqs: list[Constraint],
+                   coeffs: LinForm, const: Fraction) -> set | None:
+        """Does the system entail ``sum coeffs + const = 0``?
+
+        Returns the premise set of the entailment, or None.
+        """
+        pre = self._presolve(eqs, ineqs)
+        if pre.conflict is not None:
+            return set(pre.conflict)
+        lo = pre.apply((dict(coeffs), const + 1, frozenset()))
+        hi = pre.apply((lin_scale(coeffs, Fraction(-1)), -const + 1,
+                        frozenset()))
+        core_lo = self._fm_with(pre.reduced, lo)
+        if core_lo is None:
+            return None
+        core_hi = self._fm_with(pre.reduced, hi)
+        if core_hi is None:
+            return None
+        return set(core_lo) | set(core_hi)
+
+    # ------------------------------------------------------------------
+
+    def _feasible(self, eqs: list[Constraint], ineqs: list[Constraint]) -> set | None:
+        pre = self._presolve(eqs, ineqs)
+        if pre.conflict is not None:
+            return set(pre.conflict)
+        core = self._fm(pre.reduced)
+        return set(core) if core is not None else None
+
+    @staticmethod
+    def _canon(cs, kind: str) -> frozenset:
+        return frozenset(
+            (kind, tuple(sorted(coeffs.items())), const, premises)
+            for coeffs, const, premises in cs)
+
+    def _presolve(self, eqs: list[Constraint], ineqs: list[Constraint]):
+        """Gaussian-eliminate the equations once (memoized); the result
+        can substitute additional side constraints cheaply, so the
+        disequality/entailment probes skip the quadratic work."""
+        key = (self._canon(eqs, "eq"), self._canon(ineqs, "le"))
+        hit = self._presolve_memo.get(key)
+        if hit is not None:
+            return hit
+        result = self._presolve_raw(eqs, ineqs)
+        self._presolve_memo[key] = result
+        return result
+
+    def _presolve_raw(self, eqs, ineqs) -> "_Presolved":
+        work_eqs = [(dict(c), k, frozenset(p)) for c, k, p in eqs]
+        work_ineqs = [(dict(c), k, frozenset(p)) for c, k, p in ineqs]
+        subs: list[tuple] = []  # (var, sub_coeffs, sub_const, prem)
+        while work_eqs:
+            coeffs, const, prem = work_eqs.pop()
+            if not coeffs:
+                if const != 0:
+                    return _Presolved(conflict=frozenset(prem))
+                continue
+            # integer gcd test (all our source coefficients are integers)
+            denom = 1
+            for v in list(coeffs.values()) + [const]:
+                denom = denom * v.denominator // gcd(denom, v.denominator)
+            ints = [int(v * denom) for v in coeffs.values()]
+            g = 0
+            for v in ints:
+                g = gcd(g, abs(v))
+            if g and int(const * denom) % g != 0:
+                return _Presolved(conflict=frozenset(prem))
+            # solve for some variable and substitute everywhere
+            var = next(iter(coeffs))
+            cv = coeffs[var]
+            rest = {k: v for k, v in coeffs.items() if k != var}
+            sub_coeffs = lin_scale(rest, Fraction(-1) / cv)
+            sub_const = -const / cv
+
+            def subst(target):
+                tcoeffs, tconst, tprem = target
+                c = tcoeffs.get(var)
+                if not c:
+                    return target
+                ncoeffs = dict(tcoeffs)
+                del ncoeffs[var]
+                ncoeffs = lin_add(ncoeffs, lin_scale(sub_coeffs, c))
+                nconst = tconst + c * sub_const
+                return (ncoeffs, nconst, tprem | prem)
+
+            work_eqs = [subst(e) for e in work_eqs]
+            work_ineqs = [subst(i) for i in work_ineqs]
+            subs.append((var, sub_coeffs, sub_const, frozenset(prem)))
+        # --- integer tightening ----------------------------------------
+        tight: list[tuple] = []
+        for coeffs, const, prem in work_ineqs:
+            coeffs, const = _tighten(coeffs, Fraction(const))
+            if not coeffs:
+                if const > 0:
+                    return _Presolved(conflict=frozenset(prem))
+                continue
+            tight.append((coeffs, const, prem))
+        return _Presolved(reduced=tuple(tight), subs=tuple(subs))
+
+    def _fm_with(self, reduced, extra) -> frozenset | None:
+        coeffs, const, prem = extra
+        coeffs, const = _tighten(dict(coeffs), Fraction(const))
+        if not coeffs:
+            return frozenset(prem) if const > 0 else None
+        return self._fm(tuple(reduced) + ((coeffs, const, frozenset(prem)),))
+
+    def _fm(self, reduced) -> frozenset | None:
+        """Fourier–Motzkin feasibility of equation-free, tightened
+        inequalities (memoized)."""
+        key = self._canon(reduced, "le")
+        hit = self._memo.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        result = self._fm_raw(list(reduced))
+        self._memo[key] = result
+        return result
+
+    def _fm_raw(self, tight) -> frozenset | None:
+        budget = self.budget
+        current = tight
+        while True:
+            vars_here: dict = {}
+            for coeffs, _, _ in current:
+                for k, v in coeffs.items():
+                    pos, neg = vars_here.get(k, (0, 0))
+                    if v > 0:
+                        vars_here[k] = (pos + 1, neg)
+                    else:
+                        vars_here[k] = (pos, neg + 1)
+            if not vars_here:
+                break
+            # cheapest variable first
+            var = min(vars_here, key=lambda k: vars_here[k][0] * vars_here[k][1])
+            pos_cs, neg_cs, rest = [], [], []
+            for c in current:
+                v = c[0].get(var, Fraction(0))
+                if v > 0:
+                    pos_cs.append(c)
+                elif v < 0:
+                    neg_cs.append(c)
+                else:
+                    rest.append(c)
+            new = rest
+            for pc, pk, pp in pos_cs:
+                for nc, nk, np_ in neg_cs:
+                    a = pc[var]
+                    b = -nc[var]
+                    # b*(pos) + a*(neg):  var cancels
+                    coeffs = lin_add(lin_scale(pc, b), lin_scale(nc, a))
+                    coeffs.pop(var, None)
+                    const = b * pk + a * nk
+                    coeffs, const = _tighten(coeffs, const)
+                    prem = pp | np_
+                    if not coeffs:
+                        if const > 0:
+                            return frozenset(prem)
+                        continue
+                    new.append((coeffs, const, prem))
+                    budget -= 1
+                    if budget <= 0:
+                        raise LiaBudgetExceeded()
+            current = self._prune(new)
+        return None
+
+    @staticmethod
+    def _prune(cs: list[tuple]) -> list[tuple]:
+        """Drop syntactic duplicates, keeping the tightest constant."""
+        best: dict[tuple, tuple] = {}
+        for coeffs, const, prem in cs:
+            key = tuple(sorted(coeffs.items()))
+            old = best.get(key)
+            # larger const means tighter (sum + const <= 0)
+            if old is None or const > old[1]:
+                best[key] = (coeffs, const, prem)
+        return list(best.values())

@@ -1,0 +1,7 @@
+"""Verification condition generation: textbook wp and the incremental
+path encoding used by the Dead/Fail analysis."""
+
+from .encode import AssertEvent, EncodedProcedure, LocEvent
+from .wp import wp, wp_proc
+
+__all__ = ["AssertEvent", "EncodedProcedure", "LocEvent", "wp", "wp_proc"]

@@ -1,0 +1,243 @@
+"""Passification and compact verification conditions (Flanagan–Saxe).
+
+The paper's §2.2 notes that computing ``wp(body, true)`` naively incurs an
+exponential blowup, and that "program verifiers compute an equisatisfiable
+formula by first passifying the program".  This module implements that
+classic pipeline as an *independent backend*:
+
+1. **passify** — convert the lowered core to single-assignment *passive*
+   form: assignments become assumptions over fresh variable versions
+   (``x#k``), havoc bumps the version, and branch joins synchronize
+   versions with assumptions;
+2. **compact VC** — over a passive program, ``wp`` needs no substitution,
+   so the verification condition is linear in the program size;
+3. **check** — validity of the VC via the SMT solver.
+
+The test suite cross-checks this backend against both the reference
+interpreter and the incremental path encoding of encode.py — three
+independent implementations of the same semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import (AssertStmt, AssignStmt, AssumeStmt, Formula,
+                        HavocStmt, IfStmt, IntLit, LocationStmt,
+                        MapAssignStmt, Procedure, Program, RelExpr,
+                        SeqStmt, SkipStmt, Stmt, StoreExpr, Type, VarExpr,
+                        mk_and, mk_implies, mk_not, mk_or, seq, TRUE)
+from ..lang.subst import subst_expr, subst_formula
+from ..smt.api import Solver
+from ..smt.terms import Sort, Term, TermFactory
+
+
+def versioned(name: str, k: int) -> str:
+    return name if k == 0 else f"{name}#{k}"
+
+
+@dataclass
+class PassiveProcedure:
+    """The passive form plus bookkeeping to interpret its variables."""
+
+    body: Stmt
+    # every versioned variable name -> Type
+    var_types: dict
+    # the entry (version 0) variables
+    entry_vars: dict
+
+
+class Passifier:
+    def __init__(self, var_types: dict):
+        self.base_types = dict(var_types)
+        self.max_version: dict[str, int] = {}
+        self.all_types: dict[str, str] = dict(var_types)
+
+    def _bump(self, name: str, versions: dict) -> str:
+        k = self.max_version.get(name, 0) + 1
+        self.max_version[name] = k
+        versions[name] = k
+        vname = versioned(name, k)
+        self.all_types[vname] = self.base_types[name]
+        return vname
+
+    def _subst_map(self, versions: dict) -> dict:
+        return {name: VarExpr(versioned(name, k))
+                for name, k in versions.items() if k > 0}
+
+    def passify(self, s: Stmt, versions: dict) -> tuple[Stmt, dict]:
+        if isinstance(s, (SkipStmt, LocationStmt)):
+            return s, versions
+        if isinstance(s, AssertStmt):
+            fm = subst_formula(s.formula, self._subst_map(versions))
+            return AssertStmt(fm, label=s.label, aid=s.aid), versions
+        if isinstance(s, AssumeStmt):
+            fm = subst_formula(s.formula, self._subst_map(versions))
+            return AssumeStmt(fm), versions
+        if isinstance(s, AssignStmt):
+            rhs = subst_expr(s.expr, self._subst_map(versions))
+            versions = dict(versions)
+            vname = self._bump(s.var, versions)
+            return AssumeStmt(RelExpr("==", VarExpr(vname), rhs)), versions
+        if isinstance(s, MapAssignStmt):
+            sub = self._subst_map(versions)
+            store = StoreExpr(subst_expr(VarExpr(s.map), sub),
+                              subst_expr(s.index, sub),
+                              subst_expr(s.value, sub))
+            versions = dict(versions)
+            vname = self._bump(s.map, versions)
+            return AssumeStmt(RelExpr("==", VarExpr(vname), store)), versions
+        if isinstance(s, HavocStmt):
+            versions = dict(versions)
+            for v in s.vars:
+                self._bump(v, versions)
+            return SkipStmt(), versions
+        if isinstance(s, SeqStmt):
+            out = []
+            for c in s.stmts:
+                p, versions = self.passify(c, versions)
+                out.append(p)
+            return seq(*out), versions
+        if isinstance(s, IfStmt):
+            cond = None
+            if s.cond is not None:
+                cond = subst_formula(s.cond, self._subst_map(versions))
+            then_p, v_then = self.passify(s.then, versions)
+            els_p, v_els = self.passify(s.els, versions)
+            # join: synchronize to the maximum version of each variable
+            joined = dict(versions)
+            sync_then, sync_els = [], []
+            for name in set(v_then) | set(v_els):
+                kt = v_then.get(name, 0)
+                ke = v_els.get(name, 0)
+                if kt == ke:
+                    joined[name] = kt
+                    continue
+                kj = max(kt, ke)
+                joined[name] = kj
+                target = VarExpr(versioned(name, kj))
+                if kt < kj:
+                    sync_then.append(AssumeStmt(
+                        RelExpr("==", target, VarExpr(versioned(name, kt)))))
+                if ke < kj:
+                    sync_els.append(AssumeStmt(
+                        RelExpr("==", target, VarExpr(versioned(name, ke)))))
+            return IfStmt(cond,
+                          seq(then_p, *sync_then),
+                          seq(els_p, *sync_els)), joined
+        raise ValueError(
+            f"passify handles the lowered core only, got {type(s).__name__}")
+
+
+def passify_procedure(program: Program, proc: Procedure) -> PassiveProcedure:
+    var_types = dict(program.globals)
+    var_types.update(proc.var_types)
+    pf = Passifier(var_types)
+    body, _ = pf.passify(proc.body, {name: 0 for name in var_types})
+    entry = {name: ty for name, ty in var_types.items()}
+    return PassiveProcedure(body=body, var_types=pf.all_types,
+                            entry_vars=entry)
+
+
+# ----------------------------------------------------------------------
+# compact VC over passive programs (no substitution => linear size)
+# ----------------------------------------------------------------------
+
+
+def compact_wp(s: Stmt, post: Formula) -> Formula:
+    if isinstance(s, (SkipStmt, LocationStmt)):
+        return post
+    if isinstance(s, AssumeStmt):
+        return mk_implies(s.formula, post)
+    if isinstance(s, AssertStmt):
+        return mk_and(s.formula, post)
+    if isinstance(s, SeqStmt):
+        out = post
+        for c in reversed(s.stmts):
+            out = compact_wp(c, out)
+        return out
+    if isinstance(s, IfStmt):
+        then_wp = compact_wp(s.then, post)
+        els_wp = compact_wp(s.els, post)
+        if s.cond is None:
+            return mk_and(then_wp, els_wp)
+        return mk_and(mk_or(mk_not(s.cond), then_wp),
+                      mk_or(s.cond, els_wp))
+    raise ValueError(f"not passive: {type(s).__name__}")
+
+
+def vc_formula(passive: PassiveProcedure) -> Formula:
+    """``wp(passive_body, true)`` — valid iff the procedure is correct."""
+    return compact_wp(passive.body, TRUE)
+
+
+# ----------------------------------------------------------------------
+# validity checking
+# ----------------------------------------------------------------------
+
+
+def encode_closed_formula(factory: TermFactory, fm: Formula,
+                          var_types: dict) -> Term:
+    """Encode a lang formula over (versioned) variables to an SMT term."""
+    from ..lang import ast as A
+
+    def enc_e(e):
+        if isinstance(e, A.VarExpr):
+            sort = Sort.MAP if var_types.get(e.name) == Type.MAP else Sort.INT
+            return factory.var(e.name, sort)
+        if isinstance(e, A.IntLit):
+            return factory.intconst(e.value)
+        if isinstance(e, A.BinExpr):
+            lv, rv = enc_e(e.lhs), enc_e(e.rhs)
+            return {"+": factory.add, "-": factory.sub,
+                    "*": factory.mul}[e.op](lv, rv)
+        if isinstance(e, A.NegExpr):
+            return factory.neg(enc_e(e.arg))
+        if isinstance(e, A.SelectExpr):
+            return factory.select(enc_e(e.map), enc_e(e.index))
+        if isinstance(e, A.StoreExpr):
+            return factory.store(enc_e(e.map), enc_e(e.index), enc_e(e.value))
+        if isinstance(e, A.FunAppExpr):
+            return factory.apply(e.name, [enc_e(a) for a in e.args], Sort.INT)
+        if isinstance(e, A.IteExpr):
+            return factory.ite(enc_f(e.cond), enc_e(e.then), enc_e(e.els))
+        raise AssertionError(f"unknown expr {e!r}")
+
+    def enc_f(f):
+        if isinstance(f, A.BoolLit):
+            return factory.boolconst(f.value)
+        if isinstance(f, A.RelExpr):
+            lv, rv = enc_e(f.lhs), enc_e(f.rhs)
+            return {"==": factory.eq, "!=": factory.ne, "<": factory.lt,
+                    "<=": factory.le, ">": factory.gt,
+                    ">=": factory.ge}[f.op](lv, rv)
+        if isinstance(f, A.PredAppExpr):
+            app = factory.apply("pred$" + f.name,
+                                [enc_e(a) for a in f.args], Sort.INT)
+            return factory.ne(app, factory.intconst(0))
+        if isinstance(f, A.NotExpr):
+            return factory.not_(enc_f(f.arg))
+        if isinstance(f, A.AndExpr):
+            return factory.and_(*(enc_f(a) for a in f.args))
+        if isinstance(f, A.OrExpr):
+            return factory.or_(*(enc_f(a) for a in f.args))
+        if isinstance(f, A.ImpliesExpr):
+            return factory.implies(enc_f(f.lhs), enc_f(f.rhs))
+        if isinstance(f, A.IffExpr):
+            return factory.iff(enc_f(f.lhs), enc_f(f.rhs))
+        raise AssertionError(f"unknown formula {f!r}")
+
+    return enc_f(fm)
+
+
+def check_procedure_compact(program: Program, proc: Procedure,
+                            lia_budget: int = 20000) -> bool:
+    """Is the (prepared) procedure free of assertion failures, via the
+    passify + compact-VC backend?  True = verified."""
+    passive = passify_procedure(program, proc)
+    fm = vc_formula(passive)
+    factory = TermFactory()
+    term = encode_closed_formula(factory, fm, passive.var_types)
+    solver = Solver(factory, lia_budget=lia_budget)
+    solver.add(factory.not_(term))
+    return solver.check() == "unsat"

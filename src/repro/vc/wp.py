@@ -1,0 +1,65 @@
+"""Dijkstra's weakest (liberal) precondition transformer (§2.2).
+
+``wp`` is used for documentation, for tests (cross-checked against the
+incremental path encoding and the reference interpreter), and as the
+formal anchor of the predicate-mining transformer (§4.4.1), which mirrors
+its structure syntactically.
+
+Havoc introduces a universal quantifier; because our solver is
+quantifier-free and ``wp`` is only ever *checked for validity* (positive
+polarity), the quantifier is realized as a fresh variable — sound and
+complete in that usage (skolemization of a positive universal).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..lang.ast import (AssertStmt, AssignStmt, AssumeStmt, Formula,
+                        HavocStmt, IfStmt, LocationStmt, MapAssignStmt,
+                        SeqStmt, SkipStmt, Stmt, StoreExpr, VarExpr,
+                        mk_and, mk_implies, mk_not, mk_or, TRUE)
+from ..lang.subst import subst_formula
+
+_fresh_counter = itertools.count()
+
+
+def _fresh(name: str) -> str:
+    return f"{name}#wp{next(_fresh_counter)}"
+
+
+def wp(s: Stmt, post: Formula) -> Formula:
+    """``wp(s, post)`` per §2.2; fresh variables realize havoc."""
+    if isinstance(s, (SkipStmt, LocationStmt)):
+        return post
+    if isinstance(s, AssumeStmt):
+        return mk_implies(s.formula, post)
+    if isinstance(s, AssertStmt):
+        return mk_and(s.formula, post)
+    if isinstance(s, AssignStmt):
+        return subst_formula(post, {s.var: s.expr})
+    if isinstance(s, MapAssignStmt):
+        store = StoreExpr(VarExpr(s.map), s.index, s.value)
+        return subst_formula(post, {s.map: store})
+    if isinstance(s, HavocStmt):
+        mapping = {v: VarExpr(_fresh(v)) for v in s.vars}
+        return subst_formula(post, mapping)
+    if isinstance(s, SeqStmt):
+        out = post
+        for c in reversed(s.stmts):
+            out = wp(c, out)
+        return out
+    if isinstance(s, IfStmt):
+        then_wp = wp(s.then, post)
+        els_wp = wp(s.els, post)
+        if s.cond is None:
+            return mk_and(then_wp, els_wp)
+        return mk_and(mk_or(mk_not(s.cond), then_wp),
+                      mk_or(s.cond, els_wp))
+    raise ValueError(
+        f"wp is defined on the lowered core only, got {type(s).__name__}")
+
+
+def wp_proc(body: Stmt) -> Formula:
+    """``wp(body, true)`` — the weakest precondition of a procedure body."""
+    return wp(body, TRUE)

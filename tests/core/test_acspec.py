@@ -1,0 +1,212 @@
+"""Algorithm 2 tests, including a brute-force property test of Theorem 1
+on randomly generated procedures.
+
+Brute-force Definition 4: every Q-formula weaker than the predicate cover
+is (up to equivalence) a subset of the cover's maximal clauses, so
+enumerating all subsets and their Dead/Fail sets yields ground truth for
+the minimal failure count and the maximal dead-free weakenings.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.acspec import find_almost_correct_specs
+from repro.core.cover import predicate_cover
+from repro.core.deadfail import DeadFailOracle
+from repro.core.predicates import mine_predicates
+from repro.lang.ast import (AssertStmt, AssumeStmt, IfStmt, IntLit,
+                            Procedure, Program, RelExpr, SkipStmt, Type,
+                            VarExpr, seq)
+from repro.lang.parser import parse_program
+from repro.lang.transform import instrument, prepare_procedure
+from repro.lang.typecheck import typecheck
+from repro.vc.encode import EncodedProcedure
+
+
+def setup(src: str, name: str = None, ignore_conditionals=False,
+          max_preds=6):
+    prog = typecheck(parse_program(src))
+    pname = name or next(n for n, p in prog.procedures.items()
+                         if p.body is not None)
+    proc = prepare_procedure(prog, prog.proc(pname))
+    enc = EncodedProcedure(prog, proc)
+    preds = mine_predicates(prog, proc,
+                            ignore_conditionals=ignore_conditionals,
+                            max_preds=max_preds)
+    oracle = DeadFailOracle(enc, preds)
+    return oracle
+
+
+class TestKnownCases:
+    def test_no_sib_returns_cover(self):
+        oracle = setup("procedure P(x: int) { if (*) { A: assert x != 0; } }")
+        cover = predicate_cover(oracle)
+        res = find_almost_correct_specs(oracle, cover)
+        assert not res.has_abstract_sib
+        assert res.min_fail == 0
+        assert res.raw_specs == [cover]
+        assert res.warnings == frozenset()
+
+    def test_late_check_weakens_to_true(self):
+        oracle = setup("""
+            procedure P(x: int) {
+              if (x != 0) { A1: assert x != 0; }
+              A2: assert x != 0;
+            }
+        """)
+        cover = predicate_cover(oracle)
+        res = find_almost_correct_specs(oracle, cover)
+        assert res.has_abstract_sib
+        assert res.min_fail == 1
+        assert res.specs == [frozenset()]  # 'true'
+        assert len(res.warnings) == 1
+
+    def test_empty_q_reports_all_conservative(self):
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              A1: assert x > 0;
+              A2: assert x < 10;
+            }
+        """))
+        proc = prepare_procedure(prog, prog.proc("P"))
+        enc = EncodedProcedure(prog, proc)
+        oracle = DeadFailOracle(enc, [])  # Q = {}
+        cover = predicate_cover(oracle)
+        # VC satisfiable, so the single empty cube fails -> cover is the
+        # empty clause (false)
+        assert cover == frozenset({frozenset()})
+        res = find_almost_correct_specs(oracle, cover)
+        assert res.has_abstract_sib
+        # the only weakening is true, which fails everything Cons fails
+        assert res.warnings == oracle.conservative_fail()
+
+    def test_concrete_sib_if_star_assert_e_else_not_e(self):
+        oracle = setup("""
+            procedure P(e: int) {
+              if (*) { A1: assert e != 0; } else { A2: assert e == 0; }
+            }
+        """)
+        cover = predicate_cover(oracle)
+        res = find_almost_correct_specs(oracle, cover)
+        assert res.has_abstract_sib
+        assert res.min_fail == 1
+        # two symmetric almost-correct specs, each failing one assertion
+        assert len(res.raw_specs) == 2
+        assert len(res.warnings) == 2
+
+    def test_pruning_weakens_and_reveals(self):
+        # Conc-style correlation spec has 2 literals; k=1 prunes it away
+        oracle = setup("""
+            procedure E() returns (r: int);
+            procedure F() returns (r: int);
+            procedure P() {
+              var a: int;
+              var b: int;
+              call a := E();
+              call b := F();
+              if (b != 0) { A1: assert a != 0; }
+            }
+        """, name="P")
+        cover = predicate_cover(oracle)
+        res_nok = find_almost_correct_specs(oracle, cover, prune_k=None)
+        res_k1 = find_almost_correct_specs(oracle, cover, prune_k=1)
+        assert res_nok.warnings == frozenset()
+        assert len(res_k1.warnings) == 1
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 against brute force
+# ----------------------------------------------------------------------
+
+
+VARS = ["x", "y"]
+
+
+@st.composite
+def small_procs(draw):
+    """Random tiny procedures with 1-3 assertions and branching."""
+    n_stmts = draw(st.integers(1, 3))
+    label = [0]
+
+    def cond():
+        v = VarExpr(draw(st.sampled_from(VARS)))
+        op = draw(st.sampled_from(["==", "!=", "<", "<="]))
+        return RelExpr(op, v, IntLit(draw(st.integers(-1, 1))))
+
+    def leaf():
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            label[0] += 1
+            return AssertStmt(cond(), label=f"A{label[0]}")
+        if kind == 1:
+            return AssumeStmt(cond())
+        return SkipStmt()
+
+    def stmt(d):
+        if d == 0 or draw(st.booleans()):
+            return leaf()
+        nondet = draw(st.booleans())
+        return IfStmt(None if nondet else cond(), stmt(d - 1), stmt(d - 1))
+
+    body = seq(*[stmt(draw(st.integers(0, 2))) for _ in range(n_stmts)])
+    # guarantee at least one assertion so the analysis has work to do
+    label[0] += 1
+    body = seq(body, AssertStmt(cond(), label=f"A{label[0]}"))
+    return instrument(body)
+
+
+def make_oracle(body, max_preds=4):
+    var_types = {v: Type.INT for v in VARS}
+    proc = Procedure(name="P", params=tuple(VARS), returns=(),
+                     var_types=var_types, body=body)
+    prog = Program(procedures={"P": proc})
+    enc = EncodedProcedure(prog, proc)
+    preds = mine_predicates(prog, proc, max_preds=max_preds)
+    return DeadFailOracle(enc, preds)
+
+
+@given(small_procs())
+@settings(max_examples=60, deadline=None)
+def test_theorem1_against_brute_force(body):
+    oracle = make_oracle(body)
+    if len(oracle.preds) > 4:
+        return  # keep the 2^|cover| enumeration tame
+    cover = predicate_cover(oracle)
+    if len(cover) > 5:
+        return
+    res = find_almost_correct_specs(oracle, cover)
+
+    # Brute force over all subsets of the cover.
+    subsets = []
+    cover_list = sorted(cover, key=lambda c: sorted(c, key=abs))
+    for r in range(len(cover_list) + 1):
+        for combo in itertools.combinations(cover_list, r):
+            s = frozenset(combo)
+            subsets.append((s, oracle.dead_set(s), oracle.fail_set(s)))
+    dead_free = [(s, fail) for s, dead, fail in subsets if not dead]
+    assert dead_free, "true (empty subset) must always be dead-free"
+    true_min = min(len(fail) for _, fail in dead_free)
+
+    # (a) the search finds the true minimum failure count
+    assert res.min_fail == true_min
+
+    # (b) every output is dead-free with exactly min_fail failures
+    for spec in res.raw_specs:
+        assert not oracle.dead_set(spec)
+        assert len(oracle.fail_set(spec)) == true_min
+
+    # (c) coverage: every maximal dead-free min-fail subset is implied by
+    # (i.e. a superset of) some output
+    winners = [s for s, fail in dead_free if len(fail) == true_min]
+    maximal = [s for s in winners
+               if not any(s < t for t in winners)]
+    for m in maximal:
+        assert any(spec <= m for spec in res.raw_specs), \
+            f"maximal ACS {m} not covered by outputs {res.raw_specs}"
+
+    # (d) the reported warnings are exactly the failures of the outputs
+    expected = frozenset()
+    for spec in res.specs:
+        expected |= oracle.fail_set(spec)
+    assert res.warnings == expected

@@ -1,0 +1,132 @@
+"""Edge cases across the analysis pipeline: degenerate procedures,
+assertion-free bodies, pure-nondet control flow, spec-only programs."""
+
+import pytest
+
+from repro import (CONC, A2, SibStatus, analyze_program, compile_c,
+                   find_abstract_sibs, parse_program, typecheck)
+
+
+class TestDegenerateProcedures:
+    def test_assertion_free_procedure_is_correct(self):
+        prog = typecheck(parse_program(
+            "procedure P(x: int) { x := x + 1; }"))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.CORRECT
+        assert res.warnings == []
+        assert res.conservative_warnings == []
+
+    def test_empty_body(self):
+        prog = typecheck(parse_program("procedure P() { skip; }"))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.CORRECT
+
+    def test_spec_only_program_analyzes_nothing(self):
+        prog = typecheck(parse_program(
+            "procedure E(x: int) returns (r: int);"))
+        rep = analyze_program(prog)
+        assert rep.reports == []
+
+    def test_assume_false_body(self):
+        # everything after assume false is unreachable; baseline pruning
+        # must keep the analysis sane
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              assume false;
+              A: assert x == 0;
+            }
+        """))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.CORRECT
+        assert res.conservative_warnings == []
+
+    def test_assert_false_reachable(self):
+        prog = typecheck(parse_program(
+            "procedure P() { A: assert false; }"))
+        res = find_abstract_sibs(prog, "P")
+        # fails on every input; with Q = {} the only weakening is true
+        assert res.conservative_warnings == ["A"]
+        assert res.warnings == ["A"]
+
+    def test_pure_nondet_control_flow(self):
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              if (*) { if (*) { A: assert x != 0; } }
+            }
+        """))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.MAYBUG
+        assert res.warnings == []
+        assert res.specs == ["!(0 == x)"]
+
+    def test_trivially_true_assert(self):
+        prog = typecheck(parse_program(
+            "procedure P(x: int) { A: assert x == x; }"))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.CORRECT
+
+
+class TestRecursionAndShapes:
+    def test_recursive_call_elaborates(self):
+        # recursion is fine modulo contracts: the callee is its spec
+        prog = compile_c("""
+            int fact(int n) {
+              if (n <= 1) { return 1; }
+              return n * fact(n - 1);
+            }
+        """)
+        res = find_abstract_sibs(prog, "fact", config=CONC)
+        assert res.status == SibStatus.CORRECT
+
+    def test_deep_branch_nesting(self):
+        branches = "assert(p != NULL);"
+        src = "void f(int *p, int a, int b, int c) {"
+        src += "if (a) { if (b) { if (c) { *p = 1; } } }"
+        src += "}"
+        prog = compile_c(src)
+        res = find_abstract_sibs(prog, "f", config=CONC)
+        assert res.status in (SibStatus.MAYBUG, SibStatus.SIB)
+
+    def test_many_assertions_one_procedure(self):
+        body = "\n".join(f"*p{i} = {i};" for i in range(5))
+        params = ", ".join(f"int *p{i}" for i in range(5))
+        prog = compile_c(f"void f({params}) {{ {body} }}")
+        res = find_abstract_sibs(prog, "f", config=CONC, max_preds=5)
+        assert len(res.conservative_warnings) == 5
+        assert res.warnings == []  # all independently env-suppressible
+
+    def test_havoc_heavy_procedure(self):
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              havoc x;
+              if (*) { havoc x; }
+              A: assert x != 0;
+            }
+        """))
+        res = find_abstract_sibs(prog, "P")
+        # havoc erases the entry vocabulary: Q = {} and the warning shows
+        assert res.preds == []
+        assert res.warnings == ["A"]
+
+
+class TestConfigurationEdges:
+    def test_a2_on_callfree_procedure_equals_conc_semantics(self):
+        # havoc-returns changes nothing without calls
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              A: assert x != 0;
+              if (x == 0) { skip; }
+            }
+        """))
+        conc = find_abstract_sibs(prog, "P", config=CONC)
+        from repro.core import A0
+        a0 = find_abstract_sibs(prog, "P", config=A0)
+        assert conc.warnings == a0.warnings
+        assert conc.specs == a0.specs
+
+    def test_max_preds_zero_degenerates_to_cons(self):
+        prog = typecheck(parse_program(
+            "procedure P(x: int) { A: assert x != 0; }"))
+        res = find_abstract_sibs(prog, "P", max_preds=0)
+        # Q = {}: every conservative warning is reported
+        assert res.warnings == res.conservative_warnings == ["A"]

@@ -1,0 +1,89 @@
+"""Property tests for the clause machinery: §4.3's Normalize preserves
+propositional semantics exactly; PruneClauses only ever weakens."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clauses import (is_tautology, normalize, prune_clauses)
+
+
+@st.composite
+def clause_sets(draw):
+    nq = draw(st.integers(1, 4))
+    n_clauses = draw(st.integers(0, 6))
+    out = set()
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, nq))
+        lits = set()
+        for _ in range(width):
+            v = draw(st.integers(1, nq))
+            lits.add(v if draw(st.booleans()) else -v)
+        out.add(frozenset(lits))
+    return nq, frozenset(out)
+
+
+def models_of(nq: int, clauses) -> set:
+    out = set()
+    for bits in itertools.product([False, True], repeat=nq):
+        def val(lit):
+            b = bits[abs(lit) - 1]
+            return b if lit > 0 else not b
+        if all(any(val(l) for l in c) for c in clauses):
+            out.add(bits)
+    return out
+
+
+class TestNormalizeProperties:
+    @given(clause_sets())
+    @settings(max_examples=300, deadline=None)
+    def test_normalize_preserves_models(self, inst):
+        nq, clauses = inst
+        assert models_of(nq, clauses) == models_of(nq, normalize(clauses))
+
+    @given(clause_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_normalize_never_widens_clauses(self, inst):
+        # resolution may *add* clauses (resolvents whose parents are not
+        # subsumed), but never one wider than the widest input clause
+        nq, clauses = inst
+        widths = [len(c) for c in clauses if not is_tautology(c)]
+        if not widths:
+            return
+        assert all(len(c) <= max(widths) for c in normalize(clauses))
+
+    @given(clause_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_normalize_output_has_no_tautologies_or_subsumed(self, inst):
+        nq, clauses = inst
+        out = normalize(clauses)
+        for c in out:
+            assert not is_tautology(c)
+            assert not any(d < c for d in out)
+
+    @given(clause_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_normalize_idempotent(self, inst):
+        nq, clauses = inst
+        once = normalize(clauses)
+        assert normalize(once) == once
+
+
+class TestPruneProperties:
+    @given(clause_sets(), st.integers(1, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_pruning_only_weakens(self, inst, k):
+        nq, clauses = inst
+        pruned = prune_clauses(clauses, k)
+        assert models_of(nq, clauses) <= models_of(nq, pruned)
+
+    @given(clause_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_pruning_monotone_in_k(self, inst):
+        nq, clauses = inst
+        m_prev = None
+        for k in (3, 2, 1):
+            m = models_of(nq, prune_clauses(clauses, k))
+            if m_prev is not None:
+                assert m_prev <= m  # smaller k = weaker spec = more models
+            m_prev = m

@@ -1,0 +1,247 @@
+"""Tests for the extension modules: doomed points, interprocedural
+contracts (§7 future work), witness paths, triage, and semantic spec
+simplification."""
+
+import pytest
+
+from repro import compile_c, parse_program, typecheck
+from repro.core import (CONC, DoomedReport, analyze_program_interprocedural,
+                        find_abstract_sibs, find_doomed, infer_contracts,
+                        strengthen_program, triage_program, witness_path)
+from repro.core.deadfail import DeadFailOracle
+from repro.core.predicates import mine_predicates
+from repro.lang.transform import prepare_procedure
+from repro.vc.encode import EncodedProcedure
+
+
+class TestDoomed:
+    def test_doomed_assert_detected(self):
+        prog = compile_c("""
+            void f(int *p) {
+              p = NULL;
+              *p = 1;
+            }
+        """)
+        rep = find_doomed(prog, "f")
+        assert rep.doomed == ["deref$1"]
+        assert rep.unreachable == []
+
+    def test_normal_assert_not_doomed(self):
+        prog = compile_c("void f(int *p) { *p = 1; }")
+        rep = find_doomed(prog, "f")
+        assert rep.doomed == []
+
+    def test_unreachable_assert(self):
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              assume x > 0;
+              if (x < 0) {
+                A: assert x == 99;
+              }
+            }
+        """))
+        rep = find_doomed(prog, "P")
+        assert rep.unreachable == ["A"]
+        assert rep.doomed == []
+
+    def test_guarded_doom(self):
+        # doomed only on one branch -> not doomed overall (can pass)
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              if (x == 0) {
+                A: assert x != 0;
+              }
+            }
+        """))
+        rep = find_doomed(prog, "P")
+        # A fails whenever reached (reached => x == 0 => assert false)
+        assert rep.doomed == ["A"]
+
+    def test_always_true_assert(self):
+        prog = typecheck(parse_program(
+            "procedure P(x: int) { A: assert x == x; }"))
+        rep = find_doomed(prog, "P")
+        assert rep.doomed == [] and rep.unreachable == []
+
+
+INTERPROC_SRC = """
+void writeval(int *p) { *p = 7; }
+
+void good_caller(int *q) {
+  if (q != NULL) { writeval(q); }
+}
+
+void bad_caller(void) {
+  int *r = (int *)malloc(8);
+  writeval(r);
+  if (r != NULL) { *r = 9; }
+}
+"""
+
+
+class TestInterprocedural:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return analyze_program_interprocedural(compile_c(INTERPROC_SRC),
+                                               config=CONC)
+
+    def test_contract_inferred_for_callee(self, result):
+        assert result.contracts == {"writeval": "!(0 == p)"}
+
+    def test_intra_pass_misses_everything(self, result):
+        assert all(not r.warnings for r in result.intra.reports)
+
+    def test_bad_caller_flagged_good_caller_clean(self, result):
+        new = result.new_warnings
+        assert list(new) == ["bad_caller"]
+        assert new["bad_caller"] == ["pre$2$writeval"]
+
+    def test_strengthen_program_adds_requires(self):
+        prog = compile_c(INTERPROC_SRC)
+        contracts = infer_contracts(prog, config=CONC)
+        strengthened = strengthen_program(prog, contracts)
+        from repro.lang.ast import BoolLit
+        req = strengthened.proc("writeval").requires
+        assert not isinstance(req, BoolLit)
+        # untouched procedures keep requires true
+        req2 = strengthened.proc("good_caller").requires
+        assert isinstance(req2, BoolLit) and req2.value
+
+    def test_no_contract_from_true_spec(self):
+        # a verified procedure yields no contract
+        prog = compile_c("void g(int *p) { if (p != NULL) { *p = 1; } }")
+        assert infer_contracts(prog, config=CONC) == {}
+
+    def test_lam_constants_never_leak_into_contracts(self):
+        prog = compile_c("""
+            void h(void) {
+              int *p = (int *)malloc(4);
+              *p = 1;
+              if (p != NULL) { *p = 2; }
+            }
+        """)
+        contracts = infer_contracts(prog, config=CONC)
+        for text in contracts.values():
+            assert "lam$" not in text
+
+
+class TestWitness:
+    def _enc(self, src, name):
+        prog = compile_c(src)
+        proc = prepare_procedure(prog, prog.proc(name))
+        return EncodedProcedure(prog, proc)
+
+    def test_witness_for_feasible_failure(self):
+        enc = self._enc("void f(int *p) { *p = 1; }", "f")
+        ev = enc.assert_events[0]
+        path = witness_path(enc, ev.aid)
+        assert path is not None
+        assert path[-1] == "FAIL   deref$1"
+        assert any("entry" in step for step in path)
+
+    def test_witness_none_for_infeasible(self):
+        enc = self._enc(
+            "void f(int *p) { if (p != NULL) { *p = 1; } }", "f")
+        ev = enc.assert_events[0]
+        assert witness_path(enc, ev.aid) is None
+
+    def test_witness_stops_at_failure(self):
+        enc = self._enc(
+            "void f(int *p) { *p = 1; if (p != NULL) { *p = 2; } }", "f")
+        first = enc.assert_events[0]
+        path = witness_path(enc, first.aid)
+        assert path[-1].startswith("FAIL")
+        assert not any("then" in s or "else" in s for s in path)
+
+    def test_witness_shows_passed_asserts(self):
+        enc = self._enc(
+            "void f(int *p, int *q) { *p = 1; *q = 2; }", "f")
+        second = enc.assert_events[1]
+        path = witness_path(enc, second.aid)
+        assert "pass   deref$1" in path
+        assert path[-1] == "FAIL   deref$2"
+
+
+class TestTriage:
+    def test_confidence_ordering(self):
+        prog = compile_c("""
+            void doomedfn(int *p) { p = NULL; *p = 1; }
+            void inconsistent(int *r) { *r = 1; if (r != NULL) { *r = 2; } }
+            struct twoints { int a; int b; };
+            int static_returns_t(void);
+            void abstract_only(void) {
+              struct twoints *data = NULL;
+              data = (struct twoints *)calloc(8, sizeof(struct twoints));
+              if (static_returns_t()) { data[0].a = 1; }
+              else { if (data != NULL) { data[0].a = 1; } else { } }
+            }
+        """)
+        rep = triage_program(prog)
+        levels = [w.confidence for w in rep.warnings]
+        assert levels == sorted(
+            levels, key=["DOOMED", "HIGH", "MEDIUM", "LOW"].index)
+        assert rep.by_confidence("DOOMED")[0].proc_name == "doomedfn"
+        assert any(w.proc_name == "inconsistent"
+                   for w in rep.by_confidence("HIGH"))
+        assert any(w.proc_name == "abstract_only"
+                   for w in rep.by_confidence("MEDIUM"))
+
+    def test_doomed_absorbs_config_tags(self):
+        prog = compile_c("void d(int *p) { p = NULL; *p = 1; }")
+        rep = triage_program(prog)
+        w = rep.warnings[0]
+        assert w.confidence == "DOOMED"
+        assert "Conc" in w.configs  # also found by the configurations
+
+
+class TestSemanticSimplification:
+    def _oracle(self, src, name):
+        prog = typecheck(parse_program(src))
+        proc = prepare_procedure(prog, prog.proc(name))
+        enc = EncodedProcedure(prog, proc)
+        preds = mine_predicates(prog, proc)
+        return DeadFailOracle(enc, preds)
+
+    def test_figure1_spec_prints_as_paper(self):
+        prog = typecheck(parse_program("""
+            var Freed: [int]int;
+            procedure Foo(c: int, buf: int, cmd: int) modifies Freed;
+            {
+              if (*) {
+                A1: assert Freed[c] == 0;  Freed[c] := 1;
+                A2: assert Freed[buf] == 0; Freed[buf] := 1;
+                return;
+              }
+              if (cmd == 0) {
+                if (*) {
+                  A3: assert Freed[c] == 0;  Freed[c] := 1;
+                  A4: assert Freed[buf] == 0; Freed[buf] := 1;
+                }
+              }
+              A5: assert Freed[c] == 0;  Freed[c] := 1;
+              A6: assert Freed[buf] == 0; Freed[buf] := 1;
+            }
+        """))
+        res = find_abstract_sibs(prog, "Foo", config=CONC)
+        assert res.specs == \
+            ["(!(buf == c) && 0 == Freed[buf] && 0 == Freed[c])"]
+
+    def test_simplification_preserves_semantics(self):
+        oracle = self._oracle("""
+            procedure P(x: int, y: int) {
+              A1: assert x != 0;
+              if (y == 0) { A2: assert y == 0; }
+            }
+        """, "P")
+        from repro.core.cover import predicate_cover
+        cover = predicate_cover(oracle)
+        simplified = oracle.simplify_clauses(cover)
+        # same Dead and Fail sets
+        assert oracle.fail_set(cover) == oracle.fail_set(simplified)
+        assert oracle.dead_set(cover) == oracle.dead_set(simplified)
+        assert len(simplified) <= len(cover)
+
+    def test_empty_set_passthrough(self):
+        oracle = self._oracle(
+            "procedure P(x: int) { A: assert x != 0; }", "P")
+        assert oracle.simplify_clauses(frozenset()) == frozenset()

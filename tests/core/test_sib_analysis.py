@@ -1,0 +1,162 @@
+"""Algorithm 1 / analysis-driver tests: configurations, statuses, reports,
+timeouts."""
+
+import pytest
+
+from repro.core import (A0, A1, A2, CONC, SibStatus, analyze_procedure,
+                        analyze_program, check_procedure,
+                        conservative_program, find_abstract_sibs)
+from repro.frontend import compile_c
+from repro.lang import parse_program, typecheck
+
+
+FIG1 = typecheck(parse_program("""
+var Freed: [int]int;
+procedure Foo(c: int, buf: int, cmd: int) modifies Freed;
+{
+  if (*) {
+    A1: assert Freed[c] == 0;  Freed[c] := 1;
+    A2: assert Freed[buf] == 0; Freed[buf] := 1;
+    return;
+  }
+  if (cmd == 0) {
+    if (*) {
+      A3: assert Freed[c] == 0;  Freed[c] := 1;
+      A4: assert Freed[buf] == 0; Freed[buf] := 1;
+    }
+  }
+  A5: assert Freed[c] == 0;  Freed[c] := 1;
+  A6: assert Freed[buf] == 0; Freed[buf] := 1;
+}
+"""))
+
+
+class TestFindAbstractSibs:
+    def test_figure1_conc(self):
+        res = find_abstract_sibs(FIG1, "Foo", config=CONC)
+        assert res.status == SibStatus.SIB
+        assert res.warnings == ["A5"]
+        assert res.min_fail == 1
+        assert len(res.conservative_warnings) == 6
+        assert len(res.preds) == 4
+
+    def test_correct_procedure_short_circuits(self):
+        prog = typecheck(parse_program("""
+            procedure P(x: int) {
+              assume x > 0;
+              A: assert x > 0;
+            }
+        """))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.CORRECT
+        assert res.warnings == []
+        assert res.conservative_warnings == []
+
+    def test_maybug_without_sib(self):
+        prog = typecheck(parse_program(
+            "procedure P(x: int) { A: assert x != 0; }"))
+        res = find_abstract_sibs(prog, "P")
+        assert res.status == SibStatus.MAYBUG
+        assert res.warnings == []
+        assert res.specs == ["!(0 == x)"]
+
+    def test_accepts_proc_object_or_name(self):
+        r1 = find_abstract_sibs(FIG1, "Foo")
+        r2 = find_abstract_sibs(FIG1, FIG1.proc("Foo"))
+        assert r1.warnings == r2.warnings
+
+
+class TestConfigs:
+    def test_config_table_matches_figure4(self):
+        assert not CONC.ignore_conditionals and not CONC.havoc_returns
+        assert not A0.ignore_conditionals and A0.havoc_returns
+        assert A1.ignore_conditionals and not A1.havoc_returns
+        assert A2.ignore_conditionals and A2.havoc_returns
+
+    def test_a0_equals_a2_on_fig2(self):
+        src = """
+            struct twoints { int a; int b; };
+            int static_returns_t(void);
+            void Bar(void) {
+              struct twoints *data = NULL;
+              data = (struct twoints *)calloc(100, sizeof(struct twoints));
+              if (static_returns_t()) { data[0].a = 1; }
+              else { if (data != NULL) { data[0].a = 1; } else { } }
+            }
+        """
+        prog = compile_c(src)
+        r0 = find_abstract_sibs(prog, "Bar", config=A0)
+        r2 = find_abstract_sibs(prog, "Bar", config=A2)
+        assert r0.warnings == r2.warnings
+        assert r0.status == r2.status
+
+
+class TestAnalyzeProcedure:
+    def test_report_fields(self):
+        rep = analyze_procedure(FIG1, "Foo", config=CONC)
+        assert rep.proc_name == "Foo"
+        assert rep.config_name == "Conc"
+        assert not rep.timed_out
+        assert rep.warnings == ["A5"]
+        assert rep.n_preds == 4
+        assert rep.n_cover_clauses > 0
+        assert rep.seconds > 0
+
+    def test_timeout_reported_not_raised(self):
+        rep = analyze_procedure(FIG1, "Foo", config=CONC, timeout=0.0)
+        assert rep.timed_out
+        assert rep.warnings == []
+
+    def test_prune_k_changes_warnings(self):
+        src = """
+            struct twoints { int a; int b; };
+            int static_returns_t(void);
+            void Bar(void) {
+              struct twoints *data = NULL;
+              data = (struct twoints *)calloc(10, sizeof(struct twoints));
+              if (static_returns_t()) { data[0].a = 1; }
+              else { if (data != NULL) { data[0].a = 1; } else { } }
+            }
+        """
+        prog = compile_c(src)
+        none = analyze_procedure(prog, "Bar", config=CONC, prune_k=None)
+        k1 = analyze_procedure(prog, "Bar", config=CONC, prune_k=1)
+        assert none.warnings == []
+        assert k1.warnings == ["deref$1"]
+
+
+class TestProgramLevel:
+    SRC = """
+        void safe(int *p) { if (p != NULL) { *p = 1; } }
+        void envdep(int *p) { *p = 1; }
+        void bug(int *p) { *p = 1; if (p != NULL) { *p = 2; } }
+    """
+
+    def test_analyze_program_aggregates(self):
+        prog = compile_c(self.SRC)
+        rep = analyze_program(prog, config=CONC)
+        assert rep.config_name == "Conc"
+        assert len(rep.reports) == 3
+        assert rep.n_warnings == 1  # only the inconsistency in 'bug'
+        assert rep.warned_procs == ["bug"]
+        assert rep.n_timeouts == 0
+
+    def test_conservative_program(self):
+        prog = compile_c(self.SRC)
+        warnings, timeouts = conservative_program(prog)
+        assert timeouts == 0
+        assert warnings["safe"] == []
+        assert warnings["envdep"] == ["deref$1"]
+        assert set(warnings["bug"]) == {"deref$1"}
+
+    def test_check_procedure(self):
+        prog = compile_c(self.SRC)
+        res = check_procedure(prog, "safe")
+        assert res.verified
+        res2 = check_procedure(prog, "envdep")
+        assert res2.warnings == ["deref$1"]
+
+    def test_proc_names_filter(self):
+        prog = compile_c(self.SRC)
+        rep = analyze_program(prog, config=CONC, proc_names=["safe"])
+        assert len(rep.reports) == 1

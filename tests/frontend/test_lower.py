@@ -1,0 +1,258 @@
+"""Lowering tests: the HAVOC-style memory model, automatic deref
+assertions, free() inlining, short-circuit expansion, loop unrolling,
+nondet recognition, scoping, and the conservative modifies sets."""
+
+import pytest
+
+from repro.frontend.lower import LowerError, compile_c, field_map
+from repro.lang.ast import (AssertStmt, AssignStmt, AssumeStmt, CallStmt,
+                            HavocStmt, IfStmt, MapAssignStmt, RelExpr,
+                            SelectExpr, Type, VarExpr, WhileStmt,
+                            walk_stmts)
+
+
+def body_of(src: str, name: str | None = None):
+    prog = compile_c(src)
+    if name is None:
+        name = next(n for n, p in prog.procedures.items()
+                    if p.body is not None)
+    return prog, prog.proc(name).body
+
+
+def asserts(body):
+    return [s for s in walk_stmts(body) if isinstance(s, AssertStmt)]
+
+
+class TestMemoryModel:
+    def test_deref_null_check_inserted(self):
+        prog, body = body_of("void f(int *p) { *p = 1; }")
+        a = asserts(body)
+        assert len(a) == 1
+        assert a[0].label == "deref$1"
+        assert isinstance(a[0].formula, RelExpr) and a[0].formula.op == "!="
+
+    def test_deref_writes_mem_map(self):
+        prog, body = body_of("void f(int *p) { *p = 1; }")
+        writes = [s for s in walk_stmts(body) if isinstance(s, MapAssignStmt)]
+        assert writes[0].map == "Mem"
+
+    def test_field_uses_field_map(self):
+        prog, body = body_of("""
+            struct S { int a; };
+            void f(struct S *p) { p->a = 7; }
+        """)
+        writes = [s for s in walk_stmts(body) if isinstance(s, MapAssignStmt)]
+        assert writes[0].map == field_map("a")
+        assert field_map("a") in prog.globals
+
+    def test_index_addresses_base_plus_offset(self):
+        prog, body = body_of("void f(int *a, int i) { a[i] = 1; }")
+        w = [s for s in walk_stmts(body) if isinstance(s, MapAssignStmt)][0]
+        from repro.lang.ast import BinExpr
+        assert isinstance(w.index, BinExpr) and w.index.op == "+"
+
+    def test_struct_array_element_field(self):
+        prog, body = body_of("""
+            struct S { int a; };
+            void f(struct S *d) { d[1].a = 2; }
+        """)
+        w = [s for s in walk_stmts(body) if isinstance(s, MapAssignStmt)][0]
+        assert w.map == field_map("a")
+        from repro.lang.ast import BinExpr
+        assert isinstance(w.index, BinExpr)  # d + 1
+
+    def test_free_inlined_as_spec(self):
+        prog, body = body_of("void f(int *p) { free(p); }")
+        a = asserts(body)
+        assert a[0].label == "free$1"
+        w = [s for s in walk_stmts(body) if isinstance(s, MapAssignStmt)][0]
+        assert w.map == "Freed"
+
+    def test_null_becomes_zero(self):
+        prog, body = body_of("void f(void) { int *p = NULL; }")
+        assign = [s for s in walk_stmts(body) if isinstance(s, AssignStmt)][0]
+        from repro.lang.ast import IntLit
+        assert assign.expr == IntLit(0)
+
+
+class TestCallsAndNondet:
+    def test_external_call_keeps_call_stmt(self):
+        prog, body = body_of("void f(void) { int *p = malloc(8); }")
+        calls = [s for s in walk_stmts(body) if isinstance(s, CallStmt)]
+        assert calls[0].callee == "malloc"
+        assert prog.proc("malloc").body is None
+
+    def test_nondet_is_native(self):
+        prog, body = body_of("void f(int x) { if (nondet()) { x = 1; } }")
+        assert not any(isinstance(s, CallStmt) for s in walk_stmts(body))
+        top = next(s for s in walk_stmts(body) if isinstance(s, IfStmt))
+        assert top.cond is None
+
+    def test_nondet_in_expression_is_havoc(self):
+        prog, body = body_of("void f(int x) { x = nondet(); }")
+        assert any(isinstance(s, HavocStmt) for s in walk_stmts(body))
+        assert not any(isinstance(s, CallStmt) for s in walk_stmts(body))
+
+    def test_defined_function_called_with_args(self):
+        prog, body = body_of("""
+            int helper(int a) { return a + 1; }
+            void f(int x) { x = helper(x); }
+        """, name="f")
+        calls = [s for s in walk_stmts(body) if isinstance(s, CallStmt)]
+        assert calls[0].callee == "helper"
+        assert len(calls[0].args) == 1
+
+    def test_conservative_modifies_all_maps(self):
+        prog = compile_c("""
+            struct S { int a; };
+            void g(void);
+            void f(struct S *p) { g(); p->a = 1; }
+        """)
+        proc = prog.proc("f")
+        assert "Mem" in proc.modifies
+        assert "Freed" in proc.modifies
+        assert field_map("a") in proc.modifies
+
+    def test_precise_modifies_option(self):
+        prog = compile_c("void f(int *p) { *p = 1; }",
+                         conservative_modifies=False)
+        assert prog.proc("f").modifies == ("Mem",)
+
+    def test_division_is_uninterpreted(self):
+        prog, body = body_of("void f(int x, int y) { x = x / y; }")
+        from repro.lang.ast import FunAppExpr
+        assign = [s for s in walk_stmts(body) if isinstance(s, AssignStmt)][0]
+        assert isinstance(assign.expr, FunAppExpr)
+        assert assign.expr.name == "div$"
+
+
+class TestShortCircuit:
+    def test_and_becomes_nested_ifs(self):
+        prog, body = body_of("""
+            struct S { int a; };
+            void f(struct S *x) {
+              if (x != NULL && x->a == 1) { x->a = 2; } else { x->a = 3; }
+            }
+        """)
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 2  # && expanded
+
+    def test_deref_check_nested_under_guard(self):
+        # the deref of x->a in the second conjunct must sit inside the
+        # x != NULL branch, not before the conditional
+        prog, body = body_of("""
+            struct S { int a; };
+            void f(struct S *x) {
+              if (x != NULL && x->a == 1) { x->a = 2; }
+            }
+        """)
+        outer = next(s for s in walk_stmts(body) if isinstance(s, IfStmt))
+        outer_asserts_before = []
+        # no assert at top level before the outer if
+        top = body
+        from repro.lang.ast import SeqStmt
+        if isinstance(top, SeqStmt):
+            for s in top.stmts:
+                if s is outer:
+                    break
+                if isinstance(s, AssertStmt):
+                    outer_asserts_before.append(s)
+        assert not outer_asserts_before
+        inner_asserts = asserts(outer.then)
+        assert inner_asserts  # the x->a check lives inside the guard
+
+    def test_or_duplicates_then(self):
+        prog, body = body_of(
+            "void f(int x, int y) { if (x == 0 || y == 0) { x = 1; } }")
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 2
+
+    def test_not_swaps_branches(self):
+        prog, body = body_of(
+            "void f(int x) { if (!(x == 0)) { x = 1; } else { x = 2; } }")
+        top = next(s for s in walk_stmts(body) if isinstance(s, IfStmt))
+        then_assign = [s for s in walk_stmts(top.then)
+                       if isinstance(s, AssignStmt)][0]
+        from repro.lang.ast import IntLit
+        assert then_assign.expr == IntLit(2)  # swapped
+
+
+class TestLoops:
+    def test_while_unrolled_no_whilestmt(self):
+        prog, body = body_of("void f(int n) { while (n > 0) { n = n - 1; } }")
+        assert not any(isinstance(s, WhileStmt) for s in walk_stmts(body))
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 3  # 2 unrollings + blocked tail
+
+    def test_for_loop_unrolled_with_step(self):
+        prog, body = body_of("""
+            void f(int n) {
+              int i;
+              for (i = 0; i < n; i++) { n = n + 1; }
+            }
+        """)
+        assert not any(isinstance(s, WhileStmt) for s in walk_stmts(body))
+
+    def test_unroll_depth_configurable(self):
+        prog = compile_c("void f(int n) { while (n > 0) { n = n - 1; } }",
+                         unroll_depth=3)
+        body = prog.proc("f").body
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 4
+
+
+class TestScoping:
+    def test_shadowing_renames(self):
+        prog, body = body_of("""
+            void f(int x) {
+              int y = 1;
+              if (x == 0) {
+                int y = 2;
+                x = y;
+              }
+              x = y;
+            }
+        """)
+        assigns = [s for s in walk_stmts(body) if isinstance(s, AssignStmt)]
+        names = {s.var for s in assigns}
+        # two distinct y's exist
+        y_like = {n for n in prog.proc("f").var_types if n.startswith("y")}
+        assert len(y_like) == 2
+
+    def test_return_value_variable(self):
+        prog = compile_c("int f(int x) { return x + 1; }")
+        proc = prog.proc("f")
+        assert proc.returns == ("ret$",)
+
+    def test_undeclared_identifier_raises(self):
+        with pytest.raises(LowerError):
+            compile_c("void f(void) { x = 1; }")
+
+    def test_globals_visible(self):
+        prog = compile_c("int g; void f(void) { g = 1; }")
+        assert "g" in prog.globals
+
+
+class TestWholeProgram:
+    def test_typechecks(self):
+        # compile_c runs the IL type checker; a large mixed program
+        src = """
+            struct node { int val; struct node *next; };
+            int ext(void);
+            int helper(struct node *n) {
+              if (n == NULL) { return 0; }
+              return n->val;
+            }
+            void f(struct node *n, int k) {
+              int t = helper(n);
+              while (t < k) { t = t + ext(); }
+              if (n != NULL && n->val == t) { free(n); }
+            }
+        """
+        prog = compile_c(src)
+        assert set(prog.procedures) >= {"helper", "f", "ext"}
+
+    def test_assert_labels_unique_per_function(self):
+        prog, body = body_of("void f(int *p, int *q) { *p = 1; *q = 2; }")
+        labels = [a.label for a in asserts(body)]
+        assert labels == ["deref$1", "deref$2"]

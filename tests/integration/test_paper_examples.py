@@ -1,0 +1,309 @@
+"""End-to-end reproduction of every worked example in the paper.
+
+Each test corresponds to a specific figure or section; comments cite the
+claim being checked.
+"""
+
+import pytest
+
+from repro import (A0, A1, A2, CONC, SibStatus, analyze_procedure,
+                   compile_c, find_abstract_sibs, parse_program, typecheck)
+
+# ----------------------------------------------------------------------
+# Figure 1 — the double-free with a missing return (§1.1.1)
+# ----------------------------------------------------------------------
+
+FIG1_C = """
+void Foo(int *c, char *buf, int cmd) {
+  if (nondet()) {
+    free(c);
+    free(buf);
+    return;
+  }
+  if (cmd == 0) {
+    if (nondet()) {
+      free(c);
+      free(buf);
+      /* ERROR: missing return */
+    }
+  }
+  free(c);
+  free(buf);
+  return;
+}
+"""
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return find_abstract_sibs(compile_c(FIG1_C), "Foo", config=CONC)
+
+    def test_conservative_reports_all_six(self, result):
+        # "the absence of precise environment assumptions yields a flood
+        # of stupid false alarms" — Boogie would warn on all 6 frees
+        assert len(result.conservative_warnings) == 6
+
+    def test_is_concrete_sib(self, result):
+        # Dead(WP(Foo)) != {} : A3/A4's branch dies under the WP
+        assert result.status == SibStatus.SIB
+
+    def test_q_matches_paper(self, result):
+        # Q = {!Freed[c], !Freed[buf], cmd == READ, c == buf}
+        assert len(result.preds) == 4
+
+    def test_single_high_confidence_warning(self, result):
+        # "which fails only A5, the assertion failure corresponding to
+        # the true bug" (free$5 = the fifth free precondition)
+        assert result.warnings == ["free$5"]
+        assert result.min_fail == 1
+
+    def test_spec_is_exactly_papers(self, result):
+        # "our method infers a single almost-correct specification:
+        # (!Freed[c] && !Freed[buf] && c != buf)"
+        assert result.specs == \
+            ["(!(buf == c) && 0 == Freed[buf] && 0 == Freed[c])"]
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — unchecked calloc / abstract SIB (§1.1.2)
+# ----------------------------------------------------------------------
+
+FIG2_C = """
+struct twoints { int a; int b; };
+int static_returns_t(void);
+
+void Bar(void) {
+  struct twoints *data = NULL;
+  data = (struct twoints *)calloc(100, sizeof(struct twoints));
+  if (static_returns_t()) {
+    data[0].a = 1;
+  } else {
+    if (data != NULL) {
+      data[0].a = 1;
+    } else {
+    }
+  }
+}
+"""
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return compile_c(FIG2_C)
+
+    def test_conc_suppresses_via_correlation(self, program):
+        # "the weakest precondition conjures up a correlation between the
+        # two procedures ... there is no SIB by the concrete definition"
+        res = find_abstract_sibs(program, "Bar", config=CONC)
+        assert res.status == SibStatus.MAYBUG
+        assert res.warnings == []
+        # the correlation spec mentions both lam$ constants
+        assert any("calloc" in s and "static_returns_t" in s
+                   for s in res.specs)
+
+    @pytest.mark.parametrize("config", [A1, A2, A0])
+    def test_abstractions_reveal_bug(self, program, config):
+        # "the almost-correct specification (over Q) for this example is
+        # true, which reveals the bug in location A1"
+        res = find_abstract_sibs(program, "Bar", config=config)
+        assert res.status == SibStatus.SIB
+        assert res.warnings == ["deref$1"]
+        assert res.specs == ["true"]
+
+    def test_clause_pruning_reveals_on_conc(self, program):
+        # §4.3: "both schemes ... will reveal the warning by pruning the
+        # clause lam.static_returns_t ==> lam.calloc != 0"
+        res = find_abstract_sibs(program, "Bar", config=CONC, prune_k=1)
+        assert res.warnings == ["deref$1"]
+
+
+# ----------------------------------------------------------------------
+# §4.4.2 — the conditional-correlation example
+# ----------------------------------------------------------------------
+
+SEC442_C = """
+void Foo(int c1, int c2, int *x) {
+  if (c1) {
+    if (x) { *x = 1; }
+  }
+  if (c2) { *x = 2; }
+}
+"""
+
+
+class TestSection442:
+    def test_conc_conjures_guard_correlation(self):
+        prog = compile_c(SEC442_C)
+        res = find_abstract_sibs(prog, "Foo", config=CONC)
+        # "The weakest precondition avoids non-null errors by conjuring
+        # c2 ==> x != 0" — no concrete SIB, no warnings
+        assert res.status == SibStatus.MAYBUG
+        assert res.warnings == []
+
+    def test_a1_reveals(self):
+        prog = compile_c(SEC442_C)
+        res = find_abstract_sibs(prog, "Foo", config=A1)
+        assert res.status == SibStatus.SIB
+        assert res.warnings  # the unguarded deref under c2
+
+
+# ----------------------------------------------------------------------
+# §4.4.3 — havoc returns can be too imprecise
+# ----------------------------------------------------------------------
+
+
+class TestSection443:
+    def test_havoc_loses_valid_pointer(self):
+        # void Bar() { x = getValidPointer(); *x = 1; }
+        # wp(Bar, true) = false under havoc-returns: Q empty, every cube
+        # fails, the almost-correct spec is true and the deref is warned
+        src = """
+            int getValidPointer(void);
+            void Bar(void) {
+              int *x;
+              x = getValidPointer();
+              *x = 1;
+            }
+        """
+        prog = compile_c(src)
+        conc = find_abstract_sibs(prog, "Bar", config=CONC)
+        a2 = find_abstract_sibs(prog, "Bar", config=A2)
+        # Conc can express lam != 0 and stays silent
+        assert conc.warnings == []
+        # A2's vocabulary is empty: the warning appears (with low
+        # confidence, as an abstract SIB over Q = {})
+        assert a2.warnings == ["deref$1"]
+
+
+# ----------------------------------------------------------------------
+# §5.1.3 — the false-positive patterns observed on Windows code
+# ----------------------------------------------------------------------
+
+
+class TestSection513Patterns:
+    def test_defensive_macro_conc_fp(self):
+        src = """
+            struct node { int val; struct node *next; };
+            void f(struct node *x) {
+              int y;
+              y = x->val;
+              if (x != NULL && x->val == 3) { x->val = y + 1; }
+              else { y = 0; }
+            }
+        """
+        res = find_abstract_sibs(compile_c(src), "f", config=CONC)
+        # "Conc flags this as a SIB since L1 is unreachable for the
+        # specification x != NULL"
+        assert res.status == SibStatus.SIB
+        assert "deref$1" in res.warnings
+
+    def test_sl_assert_conc_fp(self):
+        src = """
+            void sl(int n, int *out) {
+              if (!(n >= 0)) { assert(0); }
+              if (out != NULL) { *out = n; }
+            }
+        """
+        res = find_abstract_sibs(compile_c(src), "sl", config=CONC)
+        # "Our tool insists that the then branch of such code be
+        # reachable, although the user expects it reachable only when the
+        # assertion fails"
+        assert res.status == SibStatus.SIB
+        assert "user$1" in res.warnings
+
+    def test_correlated_guard_a1_fp_conc_ok(self):
+        src = """
+            void h(int len, char *mbuf) {
+              int i;
+              if (len >= 1) {
+                for (i = 0; i < len; i++) { mbuf[i] = 1; }
+              }
+              if (mbuf != NULL) { mbuf[0] = 0; }
+            }
+        """
+        prog = compile_c(src)
+        # "the tool avoids the error during Conc analysis by inferring
+        # the correct precondition len >= 1 ==> mbuf != 0"
+        assert find_abstract_sibs(prog, "h", config=CONC).warnings == []
+        # "However, A1 results in a stronger specification mbuf != 0,
+        # which creates dead code ... and reveals a SIB"
+        a1 = find_abstract_sibs(prog, "h", config=A1)
+        assert a1.status == SibStatus.SIB
+        assert a1.warnings
+
+    def test_field_after_call_a2_fp_conc_a1_ok(self):
+        src = """
+            struct node { int val; struct node *next; };
+            void bar(void);
+            void g(struct node *x) {
+              if (x == NULL) { return; }
+              if (x->next == NULL) { return; }
+              bar();
+              x->next->val = 1;
+            }
+        """
+        prog = compile_c(src)
+        # "both Conc and A1 can add a specification lam.bar.f[x] != 0
+        # since the modified values have associated symbolic constants"
+        assert find_abstract_sibs(prog, "g", config=CONC).warnings == []
+        assert find_abstract_sibs(prog, "g", config=A1).warnings == []
+        # "A vast majority of the A2 warnings are due to ... A2 can't
+        # capture that x->f != 0 after the call"
+        a2 = find_abstract_sibs(prog, "g", config=A2)
+        assert a2.warnings == ["deref$3"]
+
+
+# ----------------------------------------------------------------------
+# §6 — comparisons with related work
+# ----------------------------------------------------------------------
+
+
+class TestRelatedWorkComparisons:
+    def test_necessary_precondition_stronger_case(self):
+        # if (x) { assert x; } assert x : necessary precondition is x,
+        # the almost-correct specification is true (strictly weaker)
+        prog = typecheck(parse_program("""
+            procedure P1(x: int) {
+              if (x != 0) { A1: assert x != 0; }
+              A2: assert x != 0;
+            }
+        """))
+        res = find_abstract_sibs(prog, "P1", config=CONC)
+        assert res.specs == ["true"]
+        assert res.warnings == ["A2"]
+
+    def test_acspec_stronger_case(self):
+        # if (*) assert x : necessary precondition is true, the
+        # almost-correct specification is x (strictly stronger)
+        prog = typecheck(parse_program("""
+            procedure P2(x: int) {
+              if (*) { A1: assert x != 0; }
+            }
+        """))
+        res = find_abstract_sibs(prog, "P2", config=CONC)
+        assert res.specs == ["!(0 == x)"]
+        assert res.warnings == []
+
+    def test_wedge_miss_case_is_concrete_sib_here(self):
+        # if (*) then assert e else assert !e : Tomb&Flanagan's wedges
+        # miss it; our formulation reports a concrete SIB
+        prog = typecheck(parse_program("""
+            procedure P3(e: int) {
+              if (*) { A1: assert e != 0; } else { A2: assert e == 0; }
+            }
+        """))
+        res = find_abstract_sibs(prog, "P3", config=CONC)
+        assert res.status == SibStatus.SIB
+        assert sorted(res.warnings) == ["A1", "A2"]
+        assert res.min_fail == 1
+
+    def test_simple_but_buggy_is_fn_everywhere(self):
+        # §5.1.2: "void Foo(x) { *x = 1; }" has no inconsistency; every
+        # configuration misses it (the paper's main FN class)
+        prog = compile_c("void Simple(int *x) { *x = 1; }")
+        for config in (CONC, A0, A1, A2):
+            res = find_abstract_sibs(prog, "Simple", config=config)
+            assert res.status == SibStatus.MAYBUG
+            assert res.warnings == []

@@ -1,0 +1,161 @@
+"""Reference interpreter tests."""
+
+import pytest
+
+from repro.lang.ast import Type
+from repro.lang.interp import (ExecStatus, Interpreter, MapValue,
+                               initial_state)
+from repro.lang.parser import parse_procedure, parse_program
+from repro.lang.transform import instrument
+from repro.lang.typecheck import typecheck
+
+
+def run(src: str, values: dict, chooser=None, instrumented: bool = True):
+    prog = typecheck(parse_program(src))
+    proc = next(p for p in prog.procedures.values() if p.body is not None)
+    body = instrument(proc.body) if instrumented else proc.body
+    interp = Interpreter(chooser=chooser)
+    state = initial_state(proc, values=values,
+                          program_globals=prog.globals)
+    return interp.run(body, state)
+
+
+class TestBasics:
+    def test_assign_and_arith(self):
+        res = run("procedure P(x: int) { x := x * 2 + 1; }", {"x": 5})
+        assert res.status == ExecStatus.NORMAL
+        assert res.state["x"] == 11
+
+    def test_assert_pass_and_fail(self):
+        ok = run("procedure P(x: int) { assert x > 0; }", {"x": 1})
+        assert ok.status == ExecStatus.NORMAL
+        bad = run("procedure P(x: int) { A: assert x > 0; }", {"x": 0})
+        assert bad.status == ExecStatus.ASSERT_FAIL
+        assert bad.failed_assert.label == "A"
+
+    def test_assume_blocks(self):
+        res = run("procedure P(x: int) { assume x > 0; x := 9; }", {"x": 0})
+        assert res.status == ExecStatus.BLOCKED
+        assert res.state["x"] == 0
+
+    def test_failure_terminates(self):
+        res = run("procedure P(x: int) { assert x > 0; x := 42; }", {"x": -1})
+        assert res.status == ExecStatus.ASSERT_FAIL
+        assert res.state["x"] == -1
+
+    def test_first_failure_reported(self):
+        res = run("""
+            procedure P(x: int) {
+              A1: assert x > 0;
+              A2: assert x > 1;
+            }
+        """, {"x": 0})
+        assert res.failed_assert.label == "A1"
+
+    def test_conditional(self):
+        src = """
+            procedure P(x: int, y: int) {
+              if (x == 0) { y := 1; } else { y := 2; }
+            }
+        """
+        assert run(src, {"x": 0}).state["y"] == 1
+        assert run(src, {"x": 7}).state["y"] == 2
+
+    def test_nondet_if_uses_chooser(self):
+        src = "procedure P(y: int) { if (*) { y := 1; } else { y := 2; } }"
+        take_then = iter([1]).__next__
+        assert run(src, {}, chooser=take_then).state["y"] == 1
+        take_else = iter([0]).__next__
+        assert run(src, {}, chooser=take_else).state["y"] == 2
+
+    def test_havoc_uses_chooser(self):
+        src = "procedure P(y: int) { havoc y; }"
+        res = run(src, {"y": 0}, chooser=iter([42]).__next__)
+        assert res.state["y"] == 42
+
+
+class TestMaps:
+    def test_map_read_write(self):
+        src = """
+            procedure P(M: [int]int, i: int, v: int) {
+              M[i] := M[i] + v;
+              A: assert M[i] > 0;
+            }
+        """
+        res = run(src, {"M": MapValue({3: 1}), "i": 3, "v": 2})
+        assert res.status == ExecStatus.NORMAL
+        assert res.state["M"].get(3) == 3
+
+    def test_map_default(self):
+        m = MapValue({}, default=7)
+        assert m.get(999) == 7
+
+    def test_map_store_persistence(self):
+        m = MapValue({})
+        m2 = m.set(1, 5)
+        assert m.get(1) == 0 and m2.get(1) == 5
+
+    def test_store_expr_in_formula_context(self):
+        src = """
+            procedure P(M: [int]int, i: int) {
+              assume M[i] == 0;
+              M[i] := 1;
+              A: assert M[i] == 1;
+            }
+        """
+        res = run(src, {"M": MapValue({}), "i": 5})
+        assert res.status == ExecStatus.NORMAL
+
+
+class TestLocations:
+    def test_visited_locations_recorded(self):
+        src = """
+            procedure P(x: int) {
+              if (x == 0) { skip; } else { skip; }
+            }
+        """
+        res = run(src, {"x": 0})
+        # instrumented: entry + then-loc visited, else-loc not
+        assert len(res.visited_locations) == 2
+
+    def test_assume_location_only_when_passed(self):
+        src = "procedure P(x: int) { assume x > 0; skip; }"
+        passed = run(src, {"x": 1})
+        blocked = run(src, {"x": 0})
+        assert len(passed.visited_locations) == 2  # entry + after-assume
+        assert len(blocked.visited_locations) == 1  # entry only
+
+
+class TestUninterpreted:
+    def test_fun_table_pins_values(self):
+        src = "procedure P(x: int) { x := inc(x); }"
+        prog = typecheck(parse_program(src))
+        proc = prog.proc("P")
+        interp = Interpreter(fun_table={("inc", (5,)): 6})
+        state = initial_state(proc, values={"x": 5})
+        res = interp.run(proc.body, state)
+        assert res.state["x"] == 6
+
+    def test_hash_function_congruent(self):
+        src = "procedure P(x: int, y: int, z: int) { y := h(x); z := h(x); }"
+        prog = typecheck(parse_program(src))
+        proc = prog.proc("P")
+        interp = Interpreter()
+        state = initial_state(proc, values={"x": 3})
+        res = interp.run(proc.body, state)
+        assert res.state["y"] == res.state["z"]
+
+    def test_unbound_variable_raises(self):
+        from repro.lang.ast import VarExpr
+        with pytest.raises(KeyError):
+            Interpreter().eval_expr(VarExpr("nope"), {})
+
+
+class TestInitialState:
+    def test_types_respected(self):
+        prog = typecheck(parse_program(
+            "var G: [int]int; procedure P(x: int) { x := G[x]; }"))
+        state = initial_state(prog.proc("P"), values={},
+                              program_globals=prog.globals)
+        assert isinstance(state["G"], MapValue)
+        assert isinstance(state["x"], int)

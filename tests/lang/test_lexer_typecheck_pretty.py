@@ -1,0 +1,123 @@
+"""Lexer, type checker, and pretty-printer round-trip tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pp_program
+from repro.lang.typecheck import TypeError_, typecheck
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("var varx assert asserting")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [("kw", "var"), ("id", "varx"),
+                         ("kw", "assert"), ("id", "asserting")]
+
+    def test_punct_longest_match(self):
+        toks = tokenize("<==> ==> == = <= <")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["<==>", "==>", "==", "=", "<=", "<"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("x // line comment\n /* block\ncomment */ y")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["x", "y"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_dollar_identifiers(self):
+        toks = tokenize("lam$1$free$Freed deref$3")
+        assert toks[0].text == "lam$1$free$Freed"
+        assert toks[1].text == "deref$3"
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+    def test_numbers(self):
+        toks = tokenize("123 0 42")
+        assert [t.kind for t in toks[:-1]] == ["int"] * 3
+
+
+GOOD = """
+var g: int;
+var M: [int]int;
+function f(int): int;
+
+procedure P(x: int) returns (r: int)
+  requires x > 0;
+  modifies g;
+{
+  var t: int;
+  t := f(x) + M[x];
+  if (t == 0) { r := 1; } else { r := 2; }
+}
+"""
+
+
+class TestTypecheck:
+    def test_good_program_passes(self):
+        typecheck(parse_program(GOOD))
+
+    @pytest.mark.parametrize("src,fragment", [
+        ("procedure P() { x := 1; }", "undeclared"),
+        ("procedure P(M: [int]int) { M := 1; }", "assigning"),
+        ("procedure P(x: int) { x[0] := 1; }", "indexing non-map"),
+        ("var g: int; procedure P(M: [int]int) { assume M < M; }",
+         "ordering"),
+        ("procedure P(x: int) { call x := Q(); }", "unknown procedure"),
+        ("procedure Q(a: int); procedure P(x: int) { call Q(); }",
+         "with 0 args"),
+        ("procedure Q() returns (r: int); procedure P(x: int) { call Q(); }",
+         "binds 0"),
+        ("procedure P(x: int) modifies x; { skip; }", "non-global"),
+        ("function f(int): int; procedure P(x: int) { x := f(x, x); }",
+         "applied to 2"),
+    ])
+    def test_errors(self, src, fragment):
+        with pytest.raises(TypeError_) as exc:
+            typecheck(parse_program(src))
+        assert fragment in str(exc.value)
+
+    def test_map_equality_allowed(self):
+        typecheck(parse_program(
+            "procedure P(M: [int]int, N: [int]int) { assume M == N; }"))
+
+
+class TestPrettyRoundTrip:
+    def test_parse_pp_parse_fixpoint(self):
+        prog1 = typecheck(parse_program(GOOD))
+        text1 = pp_program(prog1)
+        prog2 = typecheck(parse_program(text1))
+        text2 = pp_program(prog2)
+        assert text1 == text2
+
+    def test_roundtrip_preserves_structure(self):
+        prog1 = parse_program(GOOD)
+        prog2 = parse_program(pp_program(prog1))
+        assert prog1.globals == prog2.globals
+        assert prog1.functions == prog2.functions
+        p1, p2 = prog1.proc("P"), prog2.proc("P")
+        assert p1.params == p2.params
+        assert p1.body == p2.body
+
+    def test_spec_only_roundtrip(self):
+        src = "procedure E(x: int) returns (r: int);"
+        prog1 = parse_program(src)
+        prog2 = parse_program(pp_program(prog1))
+        assert prog2.proc("E").body is None
+
+    def test_nondet_constructs_roundtrip(self):
+        src = ("procedure P(x: int) { if (*) { havoc x; } "
+               "while (*) { x := x + 1; } }")
+        prog1 = parse_program(src)
+        prog2 = parse_program(pp_program(prog1))
+        assert prog1.proc("P").body == prog2.proc("P").body

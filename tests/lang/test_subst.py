@@ -1,0 +1,86 @@
+"""Substitution laws, checked against the reference interpreter:
+``eval(subst(f, x->e), s) == eval(f, s[x -> eval(e, s)])``."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import (BinExpr, IntLit, RelExpr, SelectExpr,
+                            StoreExpr, VarExpr, mk_and, mk_not, mk_or)
+from repro.lang.interp import Interpreter, MapValue
+from repro.lang.subst import subst_expr, subst_formula
+
+VARS = ["x", "y", "z"]
+
+
+@st.composite
+def exprs(draw, depth=2):
+    kind = draw(st.integers(0, 2 if depth == 0 else 3))
+    if kind == 0:
+        return IntLit(draw(st.integers(-3, 3)))
+    if kind in (1, 2):
+        return VarExpr(draw(st.sampled_from(VARS)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinExpr(op, draw(exprs(depth=depth - 1)),
+                   draw(exprs(depth=depth - 1)))
+
+
+@st.composite
+def formulas(draw, depth=2):
+    kind = draw(st.integers(0, 0 if depth == 0 else 2))
+    if kind == 0:
+        op = draw(st.sampled_from(["==", "!=", "<", "<="]))
+        return RelExpr(op, draw(exprs()), draw(exprs()))
+    if kind == 1:
+        return mk_not(draw(formulas(depth=depth - 1)))
+    return mk_and(draw(formulas(depth=depth - 1)),
+                  draw(formulas(depth=depth - 1)))
+
+
+@given(exprs(), st.sampled_from(VARS), exprs(),
+       st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)))
+@settings(max_examples=300, deadline=None)
+def test_expr_substitution_law(target, var, replacement, values):
+    interp = Interpreter()
+    state = dict(zip(VARS, values))
+    substituted = subst_expr(target, {var: replacement})
+    lhs = interp.eval_expr(substituted, dict(state))
+    state2 = dict(state)
+    state2[var] = interp.eval_expr(replacement, dict(state))
+    rhs = interp.eval_expr(target, state2)
+    assert lhs == rhs
+
+
+@given(formulas(), st.sampled_from(VARS), exprs(),
+       st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)))
+@settings(max_examples=300, deadline=None)
+def test_formula_substitution_law(target, var, replacement, values):
+    interp = Interpreter()
+    state = dict(zip(VARS, values))
+    substituted = subst_formula(target, {var: replacement})
+    lhs = interp.eval_formula(substituted, dict(state))
+    state2 = dict(state)
+    state2[var] = interp.eval_expr(replacement, dict(state))
+    rhs = interp.eval_formula(target, state2)
+    assert lhs == rhs
+
+
+class TestMapSubstitution:
+    def test_store_substitution_for_map_var(self):
+        # M -> store(M, i, v) inside a select: the wp(M[i]:=v) mechanism
+        fm = RelExpr("==", SelectExpr(VarExpr("M"), VarExpr("j")), IntLit(0))
+        out = subst_formula(fm, {
+            "M": StoreExpr(VarExpr("M"), VarExpr("i"), IntLit(1))})
+        interp = Interpreter()
+        state = {"M": MapValue({}), "i": 5, "j": 5}
+        assert interp.eval_formula(out, state) is False  # M[5]=1 now
+        state = {"M": MapValue({}), "i": 5, "j": 6}
+        assert interp.eval_formula(out, state) is True
+
+    def test_simultaneous_substitution(self):
+        fm = RelExpr("<", VarExpr("x"), VarExpr("y"))
+        out = subst_formula(fm, {"x": VarExpr("y"), "y": VarExpr("x")})
+        # swap, not sequential: x<y becomes y<x
+        assert out == RelExpr("<", VarExpr("y"), VarExpr("x"))
+
+    def test_identity_when_unmapped(self):
+        fm = RelExpr("==", VarExpr("x"), IntLit(0))
+        assert subst_formula(fm, {"q": IntLit(1)}) == fm

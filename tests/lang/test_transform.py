@@ -1,0 +1,239 @@
+"""Transformation tests: call elaboration, loop unrolling, return
+elimination, instrumentation."""
+
+import pytest
+
+from repro.lang.ast import (AssertStmt, AssignStmt, AssumeStmt, HavocStmt,
+                            IfStmt, LocationStmt, RelExpr, ReturnStmt,
+                            SeqStmt, SkipStmt, VarExpr, WhileStmt,
+                            asserts_in, locations_in, walk_stmts)
+from repro.lang.parser import parse_program
+from repro.lang.transform import (elaborate_calls, eliminate_returns,
+                                  instrument, is_lambda_const,
+                                  lambda_const, prepare_procedure,
+                                  unroll_loops)
+from repro.lang.typecheck import typecheck
+
+
+PROG = typecheck(parse_program("""
+var g: int;
+
+procedure Callee(a: int) returns (r: int)
+  requires a > 0;
+  ensures r > a;
+  modifies g;
+  ;
+
+procedure Caller(x: int) returns (y: int)
+{
+  call y := Callee(x + 1);
+}
+"""))
+
+
+class TestCallElaboration:
+    def test_fresh_constants_mode(self):
+        proc = elaborate_calls(PROG, PROG.proc("Caller"))
+        stmts = list(walk_stmts(proc.body))
+        asserts = [s for s in stmts if isinstance(s, AssertStmt)]
+        assumes = [s for s in stmts if isinstance(s, AssumeStmt)]
+        assigns = [s for s in stmts if isinstance(s, AssignStmt)]
+        assert len(asserts) == 1          # assert pre[e/x]
+        assert len(assumes) == 1          # assume post
+        assert len(assigns) == 2          # g and y get lam$ constants
+        for a in assigns:
+            assert isinstance(a.expr, VarExpr)
+            assert is_lambda_const(a.expr.name)
+        # lam constants registered as variables
+        lam_names = [a.expr.name for a in assigns]
+        for n in lam_names:
+            assert n in proc.var_types
+
+    def test_precondition_substituted(self):
+        proc = elaborate_calls(PROG, PROG.proc("Caller"))
+        a = [s for s in walk_stmts(proc.body) if isinstance(s, AssertStmt)][0]
+        # requires a > 0 with a := x + 1
+        assert isinstance(a.formula, RelExpr)
+        assert a.formula.op == ">"
+
+    def test_havoc_returns_mode(self):
+        proc = elaborate_calls(PROG, PROG.proc("Caller"), havoc_returns=True)
+        stmts = list(walk_stmts(proc.body))
+        havocs = [s for s in stmts if isinstance(s, HavocStmt)]
+        assigns = [s for s in stmts if isinstance(s, AssignStmt)]
+        assert len(havocs) == 1
+        assert set(havocs[0].vars) == {"g", "y"}
+        assert not assigns
+
+    def test_unique_sites_get_unique_constants(self):
+        prog = typecheck(parse_program("""
+            procedure E() returns (r: int);
+            procedure P(x: int) {
+              var a: int;
+              var b: int;
+              call a := E();
+              call b := E();
+            }
+        """))
+        proc = elaborate_calls(prog, prog.proc("P"))
+        assigns = [s for s in walk_stmts(proc.body)
+                   if isinstance(s, AssignStmt)]
+        names = {a.expr.name for a in assigns}
+        assert len(names) == 2
+
+    def test_lambda_const_naming(self):
+        assert lambda_const(3, "free", "Freed") == "lam$3$free$Freed"
+        assert is_lambda_const("lam$3$free$Freed")
+        assert not is_lambda_const("lamb")
+
+
+class TestUnrollLoops:
+    def test_unroll_depth(self):
+        prog = parse_program(
+            "procedure P(x: int) { while (x < 3) { x := x + 1; } }")
+        body = unroll_loops(prog.proc("P").body, depth=2)
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 2
+        assert not any(isinstance(s, WhileStmt) for s in walk_stmts(body))
+        # innermost tail assumes the exit condition
+        assumes = [s for s in walk_stmts(body) if isinstance(s, AssumeStmt)]
+        assert len(assumes) == 1
+
+    def test_nondet_loop_no_assume(self):
+        prog = parse_program(
+            "procedure P(x: int) { while (*) { x := x + 1; } }")
+        body = unroll_loops(prog.proc("P").body, depth=2)
+        assert not any(isinstance(s, AssumeStmt) for s in walk_stmts(body))
+        ifs = [s for s in walk_stmts(body) if isinstance(s, IfStmt)]
+        assert len(ifs) == 2 and all(i.cond is None for i in ifs)
+
+    def test_nested_loops(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              while (x < 3) { while (x < 2) { x := x + 1; } }
+            }
+        """)
+        body = unroll_loops(prog.proc("P").body, depth=2)
+        assert not any(isinstance(s, WhileStmt) for s in walk_stmts(body))
+
+
+class TestEliminateReturns:
+    def test_top_level_return_drops_suffix(self):
+        prog = parse_program(
+            "procedure P(x: int) { x := 1; return; x := 2; }")
+        body = eliminate_returns(prog.proc("P").body)
+        assigns = [s for s in walk_stmts(body) if isinstance(s, AssignStmt)]
+        assert len(assigns) == 1
+
+    def test_branch_return_duplicates_continuation(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              if (x == 0) { return; }
+              x := 5;
+            }
+        """)
+        body = eliminate_returns(prog.proc("P").body)
+        assert not any(isinstance(s, ReturnStmt) for s in walk_stmts(body))
+        # x := 5 must live in the else side only
+        top = body
+        assert isinstance(top, IfStmt)
+        then_assigns = [s for s in walk_stmts(top.then)
+                        if isinstance(s, AssignStmt)]
+        els_assigns = [s for s in walk_stmts(top.els)
+                       if isinstance(s, AssignStmt)]
+        assert not then_assigns
+        assert len(els_assigns) == 1
+
+    def test_both_branches_return(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              if (x == 0) { x := 1; return; } else { x := 2; return; }
+              x := 3;
+            }
+        """)
+        body = eliminate_returns(prog.proc("P").body)
+        assigns = [s.expr.value for s in walk_stmts(body)
+                   if isinstance(s, AssignStmt)]
+        assert 3 not in assigns
+
+    def test_return_in_loop_rejected(self):
+        prog = parse_program(
+            "procedure P(x: int) { while (*) { return; } }")
+        with pytest.raises(ValueError):
+            eliminate_returns(prog.proc("P").body)
+
+    def test_no_return_identity_shape(self):
+        prog = parse_program("procedure P(x: int) { x := 1; x := 2; }")
+        body = eliminate_returns(prog.proc("P").body)
+        assigns = [s for s in walk_stmts(body) if isinstance(s, AssignStmt)]
+        assert len(assigns) == 2
+
+
+class TestInstrument:
+    def test_assert_ids_in_program_order(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              assert x == 0;
+              if (*) { assert x == 1; } else { assert x == 2; }
+              assert x == 3;
+            }
+        """)
+        body = instrument(prog.proc("P").body)
+        ids = [a.aid for a in asserts_in(body)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_labels_preserved_or_generated(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              L: assert x == 0;
+              assert x == 1;
+            }
+        """)
+        body = instrument(prog.proc("P").body)
+        labels = [a.label for a in asserts_in(body)]
+        assert labels[0] == "L"
+        assert labels[1] == "A1"
+
+    def test_locations_inside_branches_and_after_assumes(self):
+        prog = parse_program("""
+            procedure P(x: int) {
+              assume x > 0;
+              if (x == 1) { skip; } else { skip; }
+            }
+        """)
+        body = instrument(prog.proc("P").body)
+        locs = locations_in(body)
+        kinds = sorted(l.describes for l in locs)
+        assert kinds == ["after-assume", "else", "entry", "then"]
+
+    def test_while_rejected(self):
+        prog = parse_program("procedure P(x: int) { while (*) { skip; } }")
+        with pytest.raises(ValueError):
+            instrument(prog.proc("P").body)
+
+
+class TestPreparePipeline:
+    def test_full_pipeline(self):
+        prog = typecheck(parse_program("""
+            var g: int;
+            procedure E() returns (r: int);
+            procedure P(x: int) {
+              var t: int;
+              call t := E();
+              while (t < 2) { t := t + 1; }
+              if (t == 0) { return; }
+              assert t > 0;
+            }
+        """))
+        proc = prepare_procedure(prog, prog.proc("P"))
+        for s in walk_stmts(proc.body):
+            assert not isinstance(s, (WhileStmt, ReturnStmt))
+        assert asserts_in(proc.body)
+        assert locations_in(proc.body)
+        # all asserts have ids
+        assert all(a.aid is not None for a in asserts_in(proc.body))
+
+    def test_spec_only_proc_passthrough(self):
+        prog = typecheck(parse_program("procedure E() returns (r: int);"))
+        proc = prepare_procedure(prog, prog.proc("E"))
+        assert proc.body is None

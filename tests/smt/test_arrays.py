@@ -1,0 +1,154 @@
+"""Array (map) reasoning tests: eager read-over-write elimination and
+end-to-end solver behaviour on store chains."""
+
+import pytest
+
+from repro.smt.api import Solver
+from repro.smt.terms import Op, TermFactory
+from repro.smt.theories.arrays import (contains_select_over_store,
+                                       eliminate_stores)
+
+
+@pytest.fixture()
+def f():
+    return TermFactory()
+
+
+class TestRewrite:
+    def test_same_index_reads_value(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        t = f.select(f.store(m, x, f.intconst(5)), x)
+        assert eliminate_stores(f, t) is f.intconst(5)
+
+    def test_distinct_const_indices_skip_store(self, f):
+        m = f.map_var("M")
+        t = f.select(f.store(m, f.intconst(1), f.intconst(5)), f.intconst(2))
+        assert eliminate_stores(f, t) is f.select(m, f.intconst(2))
+
+    def test_unknown_indices_become_ite(self, f):
+        m, x, y = f.map_var("M"), f.int_var("x"), f.int_var("y")
+        t = f.select(f.store(m, x, f.intconst(5)), y)
+        out = eliminate_stores(f, t)
+        assert out.op is Op.ITE
+        assert not contains_select_over_store(out)
+
+    def test_store_chain_fully_eliminated(self, f):
+        m, x, y, z = (f.map_var("M"), f.int_var("x"), f.int_var("y"),
+                      f.int_var("z"))
+        chain = f.store(f.store(m, x, f.intconst(1)), y, f.intconst(2))
+        t = f.eq(f.select(chain, z), f.intconst(0))
+        out = eliminate_stores(f, t)
+        assert not contains_select_over_store(out)
+
+    def test_select_of_map_ite(self, f):
+        m1, m2 = f.map_var("M1"), f.map_var("M2")
+        c = f.bool_var("c")
+        t = f.select(f.ite(c, m1, m2), f.int_var("i"))
+        out = eliminate_stores(f, t)
+        assert out.op is Op.ITE
+
+    def test_rewrite_inside_boolean_structure(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        t = f.and_(f.bool_var("p"),
+                   f.eq(f.select(f.store(m, x, f.intconst(1)), x),
+                        f.intconst(1)))
+        out = eliminate_stores(f, t)
+        assert not contains_select_over_store(out)
+
+    def test_no_store_is_identity(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        t = f.eq(f.select(m, x), f.intconst(0))
+        assert eliminate_stores(f, t) is t
+
+
+class TestSolverIntegration:
+    def test_read_over_write_same_index(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        s = Solver(f)
+        s.add(f.ne(f.select(f.store(m, x, f.intconst(5)), x), f.intconst(5)))
+        assert s.check() == "unsat"
+
+    def test_read_over_write_different_index(self, f):
+        m, x, y = f.map_var("M"), f.int_var("x"), f.int_var("y")
+        s = Solver(f)
+        s.add(f.ne(x, y),
+              f.ne(f.select(f.store(m, x, f.intconst(5)), y),
+                   f.select(m, y)))
+        assert s.check() == "unsat"
+
+    def test_two_writes_last_wins(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        chain = f.store(f.store(m, x, f.intconst(1)), x, f.intconst(2))
+        s = Solver(f)
+        s.add(f.ne(f.select(chain, x), f.intconst(2)))
+        assert s.check() == "unsat"
+
+    def test_aliasing_forces_overwrite(self, f):
+        # Figure 1's c == buf aliasing: writing Freed[c] then reading
+        # Freed[buf] sees the write when c == buf.
+        freed, c, buf = f.map_var("Freed"), f.int_var("c"), f.int_var("buf")
+        after = f.store(freed, c, f.intconst(1))
+        s = Solver(f)
+        s.add(f.eq(c, buf),
+              f.eq(f.select(after, buf), f.intconst(0)))
+        assert s.check() == "unsat"
+
+    def test_no_aliasing_is_satisfiable(self, f):
+        freed, c, buf = f.map_var("Freed"), f.int_var("c"), f.int_var("buf")
+        after = f.store(freed, c, f.intconst(1))
+        s = Solver(f)
+        s.add(f.ne(c, buf), f.eq(f.select(after, buf), f.intconst(0)))
+        assert s.check() == "sat"
+
+    def test_select_congruence_over_map_vars(self, f):
+        m, x, y = f.map_var("M"), f.int_var("x"), f.int_var("y")
+        s = Solver(f)
+        s.add(f.eq(x, y), f.ne(f.select(m, x), f.select(m, y)))
+        assert s.check() == "unsat"
+
+
+class TestLazyArrayLemmas:
+    """Map equalities to store terms (the passive/Boogie encoding) need
+    lazy read-over-write instantiation in the theory core."""
+
+    def test_map_equality_same_index(self, f):
+        m1, m0, i = f.map_var("M1"), f.map_var("M0"), f.int_var("i")
+        s = Solver(f)
+        s.add(f.eq(m1, f.store(m0, i, f.intconst(1))),
+              f.ne(f.select(m1, i), f.intconst(1)))
+        assert s.check() == "unsat"
+
+    def test_map_equality_other_index(self, f):
+        m1, m0 = f.map_var("M1"), f.map_var("M0")
+        i, j = f.int_var("i"), f.int_var("j")
+        s = Solver(f)
+        s.add(f.eq(m1, f.store(m0, i, f.intconst(1))),
+              f.ne(i, j),
+              f.ne(f.select(m1, j), f.select(m0, j)))
+        assert s.check() == "unsat"
+
+    def test_map_equality_sat_case(self, f):
+        m1, m0 = f.map_var("M1"), f.map_var("M0")
+        i, j = f.int_var("i"), f.int_var("j")
+        s = Solver(f)
+        s.add(f.eq(m1, f.store(m0, i, f.intconst(1))),
+              f.ne(f.select(m1, j), f.select(m0, j)))
+        assert s.check() == "sat"  # j may alias i
+
+    def test_chained_map_equalities(self, f):
+        m2, m1, m0 = (f.map_var(n) for n in ("M2", "M1", "M0"))
+        i = f.int_var("i")
+        s = Solver(f)
+        s.add(f.eq(m1, f.store(m0, i, f.intconst(1))),
+              f.eq(m2, f.store(m1, i, f.intconst(2))),
+              f.ne(f.select(m2, i), f.intconst(2)))
+        assert s.check() == "unsat"
+
+    def test_equality_through_variable_chain(self, f):
+        m1, m0, alias = f.map_var("M1"), f.map_var("M0"), f.map_var("A")
+        i = f.int_var("i")
+        s = Solver(f)
+        s.add(f.eq(alias, f.store(m0, i, f.intconst(5))),
+              f.eq(m1, alias),
+              f.ne(f.select(m1, i), f.intconst(5)))
+        assert s.check() == "unsat"

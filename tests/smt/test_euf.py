@@ -1,0 +1,193 @@
+"""Congruence closure unit tests: merging, congruence propagation,
+disequalities, interpreted constants, and explanation quality."""
+
+import pytest
+
+from repro.smt.terms import TermFactory
+from repro.smt.theories.euf import EufSolver
+
+
+@pytest.fixture()
+def f():
+    return TermFactory()
+
+
+def lit(i):
+    return ("lit", i)
+
+
+class TestBasicEquality:
+    def test_reflexive_transitive(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        assert e.assert_eq(x, y, lit(1)) is None
+        assert e.assert_eq(y, z, lit(2)) is None
+        assert e.are_equal(x, z)
+        assert e.are_equal(x, x)
+
+    def test_not_equal_without_assertion(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        e.add_term(x)
+        e.add_term(y)
+        assert not e.are_equal(x, y)
+
+    def test_diseq_then_eq_conflicts(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        assert e.assert_diseq(x, y, lit(1)) is None
+        conflict = e.assert_eq(x, y, lit(2))
+        assert conflict is not None
+        assert conflict == {lit(1), lit(2)}
+
+    def test_eq_then_diseq_conflicts(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        e.assert_eq(x, y, lit(1))
+        e.assert_eq(y, z, lit(2))
+        conflict = e.assert_diseq(x, z, lit(3))
+        assert conflict == {lit(1), lit(2), lit(3)}
+
+    def test_diseq_between_distinct_classes_ok(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        e.assert_eq(x, y, lit(1))
+        assert e.assert_diseq(x, z, lit(2)) is None
+        assert e.assert_diseq(y, z, lit(3)) is None
+
+
+class TestCongruence:
+    def test_unary_congruence(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        gx, gy = f.apply("g", [x]), f.apply("g", [y])
+        e.add_term(gx)
+        e.add_term(gy)
+        e.assert_eq(x, y, lit(1))
+        assert e.are_equal(gx, gy)
+
+    def test_congruence_conflict_with_diseq(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        gx, gy = f.apply("g", [x]), f.apply("g", [y])
+        assert e.assert_diseq(gx, gy, lit(1)) is None
+        conflict = e.assert_eq(x, y, lit(2))
+        assert conflict == {lit(1), lit(2)}
+
+    def test_binary_congruence_needs_both_args(self, f):
+        e = EufSolver()
+        x, y, u, v = (f.int_var(n) for n in "xyuv")
+        h1 = f.apply("h", [x, u])
+        h2 = f.apply("h", [y, v])
+        e.add_term(h1)
+        e.add_term(h2)
+        e.assert_eq(x, y, lit(1))
+        assert not e.are_equal(h1, h2)
+        e.assert_eq(u, v, lit(2))
+        assert e.are_equal(h1, h2)
+
+    def test_nested_congruence_chain(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        ggx = f.apply("g", [f.apply("g", [x])])
+        ggy = f.apply("g", [f.apply("g", [y])])
+        e.add_term(ggx)
+        e.add_term(ggy)
+        e.assert_eq(x, y, lit(1))
+        assert e.are_equal(ggx, ggy)
+
+    def test_registered_later_still_congruent(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        e.assert_eq(x, y, lit(1))
+        gx, gy = f.apply("g", [x]), f.apply("g", [y])
+        e.add_term(gx)
+        e.add_term(gy)
+        # congruence discovered on registration
+        e._process()
+        assert e.are_equal(gx, gy)
+
+    def test_different_functions_not_merged(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        gx, hx = f.apply("g", [x]), f.apply("h", [x])
+        e.add_term(gx)
+        e.add_term(hx)
+        e.assert_eq(x, y, lit(1))
+        assert not e.are_equal(gx, hx)
+
+
+class TestConstants:
+    def test_distinct_constants_conflict(self, f):
+        e = EufSolver()
+        x = f.int_var("x")
+        c3, c4 = f.intconst(3), f.intconst(4)
+        e.assert_eq(x, c3, lit(1))
+        conflict = e.assert_eq(x, c4, lit(2))
+        assert conflict == {lit(1), lit(2)}
+
+    def test_same_constant_fine(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        assert e.assert_eq(x, f.intconst(3), lit(1)) is None
+        assert e.assert_eq(y, f.intconst(3), lit(2)) is None
+        assert e.assert_eq(x, y, lit(3)) is None
+
+    def test_constant_conflict_via_chain(self, f):
+        e = EufSolver()
+        xs = [f.int_var(f"x{i}") for i in range(4)]
+        e.assert_eq(xs[0], f.intconst(1), lit(1))
+        e.assert_eq(xs[3], f.intconst(2), lit(2))
+        e.assert_eq(xs[0], xs[1], lit(3))
+        e.assert_eq(xs[2], xs[3], lit(4))
+        conflict = e.assert_eq(xs[1], xs[2], lit(5))
+        assert conflict == {lit(1), lit(2), lit(3), lit(4), lit(5)}
+
+
+class TestExplanations:
+    def test_explain_direct(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        e.assert_eq(x, y, lit(7))
+        assert e.explain(x, y) == {lit(7)}
+
+    def test_explain_chain(self, f):
+        e = EufSolver()
+        vs = [f.int_var(f"v{i}") for i in range(5)]
+        for i in range(4):
+            e.assert_eq(vs[i], vs[i + 1], lit(i))
+        assert e.explain(vs[0], vs[4]) == {lit(0), lit(1), lit(2), lit(3)}
+
+    def test_explain_is_relevant_subset(self, f):
+        e = EufSolver()
+        x, y, a, b = (f.int_var(n) for n in "xyab")
+        e.assert_eq(x, y, lit(1))
+        e.assert_eq(a, b, lit(2))  # unrelated
+        assert e.explain(x, y) == {lit(1)}
+
+    def test_explain_through_congruence(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        gx, gy = f.apply("g", [x]), f.apply("g", [y])
+        e.add_term(gx)
+        e.add_term(gy)
+        e.assert_eq(x, y, lit(1))
+        e.assert_eq(gy, z, lit(2))
+        assert e.explain(gx, z) == {lit(1), lit(2)}
+
+    def test_explain_same_term_empty(self, f):
+        e = EufSolver()
+        x = f.int_var("x")
+        e.add_term(x)
+        assert e.explain(x, x) == set()
+
+
+class TestClasses:
+    def test_equivalence_classes(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        e.assert_eq(x, y, lit(1))
+        e.add_term(z)
+        classes = e.equivalence_classes()
+        sizes = sorted(len(m) for m in classes.values())
+        assert sizes == [1, 2]

@@ -1,0 +1,198 @@
+"""CDCL SAT core tests, including a hypothesis cross-check against a
+brute-force evaluator on random CNFs."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat.cnf import normalize_clause
+from repro.smt.sat.solver import SatSolver
+
+
+def make_solver(nvars: int) -> SatSolver:
+    s = SatSolver()
+    for _ in range(nvars):
+        s.new_var()
+    return s
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert make_solver(0).solve() is True
+
+    def test_unit_clause(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.solve() is True
+        assert s.model_value(1) is True
+
+    def test_contradictory_units(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.add_clause([-1]) is False
+        assert s.solve() is False
+
+    def test_simple_propagation_chain(self):
+        s = make_solver(3)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve() is True
+        assert s.model_value(3) is True
+
+    def test_classic_unsat(self):
+        s = make_solver(2)
+        for cl in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            s.add_clause(cl)
+        assert s.solve() is False
+
+    def test_tautology_ignored(self):
+        s = make_solver(1)
+        s.add_clause([1, -1])
+        assert s.solve() is True
+
+    def test_model_satisfies_clauses(self):
+        s = make_solver(4)
+        clauses = [[1, 2], [-2, 3], [-1, -3, 4], [-4, 2]]
+        for cl in clauses:
+            s.add_clause(cl)
+        assert s.solve() is True
+        for cl in clauses:
+            assert any(s.model_value(lit) for lit in cl)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # pigeons p in 1..3, holes h in 1..2; var(p,h) = 2*(p-1)+h
+        s = make_solver(6)
+
+        def v(p, h):
+            return 2 * (p - 1) + h
+
+        for p in range(1, 4):
+            s.add_clause([v(p, 1), v(p, 2)])
+        for h in (1, 2):
+            for p1, p2 in itertools.combinations(range(1, 4), 2):
+                s.add_clause([-v(p1, h), -v(p2, h)])
+        assert s.solve() is False
+
+
+class TestAssumptions:
+    def test_sat_flips_with_assumptions(self):
+        s = make_solver(2)
+        s.add_clause([-1, 2])
+        assert s.solve([1]) is True
+        assert s.model_value(2) is True
+        s2 = make_solver(2)
+        s2.add_clause([-1, -2])
+        s2.add_clause([-1, 2])
+        assert s2.solve([1]) is False
+        assert s2.solve([2]) is True
+
+    def test_core_subset_of_assumptions(self):
+        s = make_solver(4)
+        s.add_clause([-1, -2])
+        assert s.solve([3, 1, 4, 2]) is False
+        assert s.core is not None
+        assert set(s.core) <= {1, 2, 3, 4}
+        assert {1, 2} <= set(s.core)
+
+    def test_core_excludes_irrelevant(self):
+        s = make_solver(5)
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        s.add_clause([-3, -4])
+        assert s.solve([5, 1, 4]) is False
+        assert 5 not in set(map(abs, s.core))
+
+    def test_incremental_reuse(self):
+        s = make_solver(3)
+        s.add_clause([-1, 2])
+        for _ in range(3):
+            assert s.solve([1]) is True
+            assert s.model_value(2) is True
+            assert s.solve([-2, 1]) is False
+            assert s.solve([]) is True
+
+    def test_conflicting_assumption_pair(self):
+        s = make_solver(1)
+        assert s.solve([1, -1]) is False
+        assert set(s.core) == {1, -1} or set(map(abs, s.core)) == {1}
+
+    def test_root_unsat_beats_assumptions(self):
+        s = make_solver(2)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve([2]) is False
+        assert s.core == []
+
+
+class TestNormalizeClause:
+    def test_dedupes_and_sorts(self):
+        assert normalize_clause([3, -1, 3]) == [-1, 3]
+
+    def test_tautology_returns_none(self):
+        assert normalize_clause([1, -1, 2]) is None
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_clause([0])
+
+
+def brute_force_sat(nvars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=nvars):
+        def val(lit):
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+        if all(any(val(l) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+@st.composite
+def cnf_instances(draw):
+    nvars = draw(st.integers(min_value=1, max_value=6))
+    nclauses = draw(st.integers(min_value=0, max_value=14))
+    clauses = []
+    for _ in range(nclauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        lits = draw(st.lists(
+            st.integers(min_value=1, max_value=nvars).flatmap(
+                lambda v: st.sampled_from([v, -v])),
+            min_size=width, max_size=width))
+        clauses.append(lits)
+    return nvars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(cnf_instances())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_brute_force(self, inst):
+        nvars, clauses = inst
+        s = make_solver(nvars)
+        for cl in clauses:
+            s.add_clause(cl)
+        expected = brute_force_sat(nvars, clauses)
+        assert s.solve() is expected
+        if expected:
+            for cl in clauses:
+                norm = normalize_clause(cl)
+                if norm is None:
+                    continue
+                assert any(s.model_value(l) for l in norm)
+
+    @given(cnf_instances(), st.lists(st.integers(min_value=1, max_value=6),
+                                     max_size=3))
+    @settings(max_examples=200, deadline=None)
+    def test_assumptions_match_brute_force(self, inst, assump_vars):
+        nvars, clauses = inst
+        assumptions = [v for v in assump_vars if v <= nvars]
+        s = make_solver(nvars)
+        for cl in clauses:
+            s.add_clause(cl)
+        expected = brute_force_sat(nvars, clauses + [[a] for a in assumptions])
+        assert s.solve(assumptions) is expected
+        if not expected and brute_force_sat(nvars, clauses):
+            # the core must itself be unsat with the clauses
+            core = s.core
+            assert core is not None
+            assert not brute_force_sat(nvars, clauses + [[a] for a in core])

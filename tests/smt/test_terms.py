@@ -1,0 +1,188 @@
+"""Unit tests for the hash-consed term layer."""
+
+import pytest
+
+from repro.smt.terms import (Op, Sort, SortError, TermFactory, atoms_of,
+                             free_vars, pretty_term, substitute, subterms)
+
+
+@pytest.fixture()
+def f():
+    return TermFactory()
+
+
+class TestInterning:
+    def test_same_structure_same_object(self, f):
+        a = f.add(f.int_var("x"), f.intconst(1))
+        b = f.add(f.int_var("x"), f.intconst(1))
+        assert a is b
+
+    def test_different_structure_different_object(self, f):
+        a = f.add(f.int_var("x"), f.intconst(1))
+        b = f.add(f.int_var("x"), f.intconst(2))
+        assert a is not b
+
+    def test_vars_interned_by_name_and_sort(self, f):
+        assert f.int_var("x") is f.int_var("x")
+        assert f.int_var("x") is not f.bool_var("x")
+
+    def test_fresh_vars_are_distinct(self, f):
+        a = f.fresh_var("t", Sort.INT)
+        b = f.fresh_var("t", Sort.INT)
+        assert a is not b
+
+    def test_tids_unique(self, f):
+        terms = [f.int_var("x"), f.intconst(3),
+                 f.add(f.int_var("x"), f.intconst(3))]
+        assert len({t.tid for t in terms}) == 3
+
+
+class TestConstantFolding:
+    def test_add_consts(self, f):
+        assert f.add(f.intconst(2), f.intconst(3)) is f.intconst(5)
+
+    def test_add_zero(self, f):
+        x = f.int_var("x")
+        assert f.add(x, f.intconst(0)) is x
+        assert f.add(f.intconst(0), x) is x
+
+    def test_sub_self(self, f):
+        x = f.int_var("x")
+        assert f.sub(x, x) is f.intconst(0)
+
+    def test_mul_zero_one(self, f):
+        x = f.int_var("x")
+        assert f.mul(x, f.intconst(0)) is f.intconst(0)
+        assert f.mul(f.intconst(1), x) is x
+
+    def test_neg_const(self, f):
+        assert f.neg(f.intconst(7)) is f.intconst(-7)
+
+    def test_eq_same_term(self, f):
+        x = f.int_var("x")
+        assert f.eq(x, x) is f.true
+
+    def test_eq_distinct_consts(self, f):
+        assert f.eq(f.intconst(1), f.intconst(2)) is f.false
+
+    def test_le_lt_consts(self, f):
+        assert f.le(f.intconst(1), f.intconst(1)) is f.true
+        assert f.lt(f.intconst(1), f.intconst(1)) is f.false
+
+    def test_ite_const_cond(self, f):
+        x, y = f.int_var("x"), f.int_var("y")
+        assert f.ite(f.true, x, y) is x
+        assert f.ite(f.false, x, y) is y
+        assert f.ite(f.bool_var("b"), x, x) is x
+
+
+class TestBooleanConstruction:
+    def test_not_involutive(self, f):
+        p = f.bool_var("p")
+        assert f.not_(f.not_(p)) is p
+
+    def test_and_flattening_and_units(self, f):
+        p, q, r = (f.bool_var(n) for n in "pqr")
+        t = f.and_(p, f.and_(q, r))
+        assert t.op is Op.AND and len(t.args) == 3
+        assert f.and_(p, f.true) is p
+        assert f.and_(p, f.false) is f.false
+        assert f.and_() is f.true
+
+    def test_or_flattening_and_units(self, f):
+        p, q = f.bool_var("p"), f.bool_var("q")
+        assert f.or_(p, f.false) is p
+        assert f.or_(p, f.true) is f.true
+        assert f.or_() is f.false
+        t = f.or_(p, f.or_(q, p))
+        assert t.op is Op.OR and len(t.args) == 2  # dedup
+
+    def test_implies_simplifications(self, f):
+        p, q = f.bool_var("p"), f.bool_var("q")
+        assert f.implies(f.true, q) is q
+        assert f.implies(f.false, q) is f.true
+        assert f.implies(p, f.true) is f.true
+        assert f.implies(p, f.false) is f.not_(p)
+
+    def test_iff_simplifications(self, f):
+        p, q = f.bool_var("p"), f.bool_var("q")
+        assert f.iff(p, p) is f.true
+        assert f.iff(p, f.true) is p
+        assert f.iff(f.false, q) is f.not_(q)
+
+    def test_eq_on_bools_becomes_iff(self, f):
+        p, q = f.bool_var("p"), f.bool_var("q")
+        assert f.eq(p, q).op is Op.IFF
+
+    def test_eq_argument_order_canonical(self, f):
+        x, y = f.int_var("x"), f.int_var("y")
+        assert f.eq(x, y) is f.eq(y, x)
+
+
+class TestSortChecking:
+    def test_add_rejects_bool(self, f):
+        with pytest.raises(SortError):
+            f.add(f.bool_var("p"), f.intconst(1))
+
+    def test_eq_rejects_mixed_sorts(self, f):
+        with pytest.raises(SortError):
+            f.eq(f.int_var("x"), f.map_var("M"))
+
+    def test_select_store_sorts(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        sel = f.select(m, x)
+        assert sel.sort is Sort.INT
+        st = f.store(m, x, f.intconst(1))
+        assert st.sort is Sort.MAP
+        with pytest.raises(SortError):
+            f.select(x, x)
+
+    def test_ite_branch_mismatch(self, f):
+        with pytest.raises(SortError):
+            f.ite(f.bool_var("b"), f.int_var("x"), f.map_var("M"))
+
+
+class TestTraversal:
+    def test_subterms(self, f):
+        x = f.int_var("x")
+        t = f.add(x, f.mul(x, f.intconst(2)))
+        subs = list(subterms(t))
+        assert t in subs and x in subs and f.intconst(2) in subs
+        assert len(subs) == len({s.tid for s in subs})
+
+    def test_free_vars(self, f):
+        x, m = f.int_var("x"), f.map_var("M")
+        t = f.eq(f.select(m, x), f.intconst(0))
+        assert free_vars(t) == {x, m}
+
+    def test_atoms_of_descends_connectives_only(self, f):
+        x, y = f.int_var("x"), f.int_var("y")
+        a1 = f.le(x, y)
+        a2 = f.eq(x, f.intconst(0))
+        t = f.and_(a1, f.not_(f.or_(a2, f.bool_var("p"))))
+        assert atoms_of(t) == {a1, a2, f.bool_var("p")}
+
+    def test_substitute(self, f):
+        x, y = f.int_var("x"), f.int_var("y")
+        t = f.le(f.add(x, f.intconst(1)), x)
+        s = substitute(f, t, {x: y})
+        assert s is f.le(f.add(y, f.intconst(1)), y)
+
+    def test_substitute_shares_unchanged(self, f):
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        t = f.and_(f.le(x, y), f.le(y, z))
+        s = substitute(f, t, {f.int_var("w"): x})
+        assert s is t
+
+
+class TestPretty:
+    def test_renders_without_crashing(self, f):
+        x, m = f.int_var("x"), f.map_var("M")
+        t = f.implies(f.eq(f.select(m, x), f.intconst(0)),
+                      f.lt(x, f.add(x, f.intconst(1))))
+        out = pretty_term(t)
+        assert "M[x]" in out and "==>" in out
+
+    def test_store_render(self, f):
+        m, x = f.map_var("M"), f.int_var("x")
+        assert ":=" in pretty_term(f.store(m, x, f.intconst(1)))

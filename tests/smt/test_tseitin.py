@@ -1,0 +1,138 @@
+"""Tseitin conversion: equivalence (not just equisatisfiability — we emit
+both directions) against a brute-force term evaluator, plus ite
+purification."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat.solver import SatSolver
+from repro.smt.sat.tseitin import CnfBuilder, purify_ites
+from repro.smt.terms import Op, Sort, TermFactory
+
+
+def eval_term(t, env):
+    op = t.op
+    if op is Op.TRUE:
+        return True
+    if op is Op.FALSE:
+        return False
+    if op is Op.VAR:
+        return env[t.name]
+    if op is Op.NOT:
+        return not eval_term(t.args[0], env)
+    if op is Op.AND:
+        return all(eval_term(a, env) for a in t.args)
+    if op is Op.OR:
+        return any(eval_term(a, env) for a in t.args)
+    if op is Op.IMPLIES:
+        return (not eval_term(t.args[0], env)) or eval_term(t.args[1], env)
+    if op is Op.IFF:
+        return eval_term(t.args[0], env) == eval_term(t.args[1], env)
+    if op is Op.ITE:
+        return eval_term(t.args[1 if eval_term(t.args[0], env) else 2], env)
+    raise AssertionError(op)
+
+
+@st.composite
+def bool_terms(draw, factory):
+    names = ["p", "q", "r"]
+    depth = draw(st.integers(min_value=0, max_value=4))
+
+    def build(d):
+        if d == 0:
+            choice = draw(st.integers(0, 4))
+            if choice == 4:
+                return factory.true if draw(st.booleans()) else factory.false
+            return factory.bool_var(names[choice % 3])
+        kind = draw(st.integers(0, 5))
+        if kind == 0:
+            return factory.not_(build(d - 1))
+        if kind == 1:
+            return factory.and_(build(d - 1), build(d - 1))
+        if kind == 2:
+            return factory.or_(build(d - 1), build(d - 1))
+        if kind == 3:
+            return factory.implies(build(d - 1), build(d - 1))
+        if kind == 4:
+            return factory.iff(build(d - 1), build(d - 1))
+        return factory.ite(build(d - 1), build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+class TestTseitinEquivalence:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_lit_tracks_formula_value(self, data):
+        factory = TermFactory()
+        term = data.draw(bool_terms(factory))
+        names = ["p", "q", "r"]
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(names, bits))
+            solver = SatSolver()
+            cnf = CnfBuilder(factory, solver)
+            lit = cnf.lit_for(term)
+            # pin the variables to this assignment
+            for name, value in env.items():
+                v = cnf.atom_var(factory.bool_var(name))
+                solver.add_clause([v if value else -v])
+            expected = eval_term(term, env)
+            solver.add_clause([lit if expected else -lit])
+            assert solver.solve() is True
+            solver2 = SatSolver()
+            cnf2 = CnfBuilder(factory, solver2)
+            lit2 = cnf2.lit_for(term)
+            for name, value in env.items():
+                v = cnf2.atom_var(factory.bool_var(name))
+                solver2.add_clause([v if value else -v])
+            solver2.add_clause([-lit2 if expected else lit2])
+            assert solver2.solve() is False
+
+
+class TestPurifyItes:
+    def test_purifies_int_ite(self):
+        f = TermFactory()
+        x, y = f.int_var("x"), f.int_var("y")
+        c = f.bool_var("c")
+        t = f.eq(f.ite(c, x, y), f.intconst(0))
+        out, defs = purify_ites(f, t)
+        assert len(defs) == 2
+        from repro.smt.sat.tseitin import _contains_term_ite
+        assert not _contains_term_ite(out)
+        for d in defs:
+            assert not _contains_term_ite(d)
+
+    def test_nested_ites(self):
+        f = TermFactory()
+        x = f.int_var("x")
+        c1, c2 = f.bool_var("c1"), f.bool_var("c2")
+        t = f.lt(f.ite(c1, f.ite(c2, x, f.intconst(1)), f.intconst(2)), x)
+        out, defs = purify_ites(f, t)
+        assert len(defs) == 4
+
+    def test_bool_ite_untouched(self):
+        f = TermFactory()
+        t = f.ite(f.bool_var("c"), f.bool_var("p"), f.bool_var("q"))
+        out, defs = purify_ites(f, t)
+        assert out is t and defs == []
+
+    def test_idempotent_when_clean(self):
+        f = TermFactory()
+        t = f.le(f.int_var("x"), f.int_var("y"))
+        out, defs = purify_ites(f, t)
+        assert out is t and not defs
+
+    def test_semantics_preserved_via_solver(self):
+        from repro.smt.api import Solver
+        f = TermFactory()
+        x = f.int_var("x")
+        c = f.bool_var("c")
+        # (if c then 1 else 2) == 1  <=>  c
+        t = f.eq(f.ite(c, f.intconst(1), f.intconst(2)), f.intconst(1))
+        s = Solver(f)
+        s.add(t, f.not_(c))
+        assert s.check() == "unsat"
+        s2 = Solver(f)
+        s2.add(t, c)
+        assert s2.check() == "sat"

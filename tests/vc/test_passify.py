@@ -1,0 +1,160 @@
+"""Passification + compact VC tests, cross-checked against the other two
+semantics implementations (interpreter, path encoding)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import (AssertStmt, AssumeStmt, Procedure, Program,
+                            RelExpr, SeqStmt, Type, VarExpr, walk_stmts)
+from repro.lang.parser import parse_program
+from repro.lang.transform import prepare_procedure
+from repro.lang.typecheck import typecheck
+from repro.vc.encode import EncodedProcedure
+from repro.vc.passify import (check_procedure_compact, compact_wp,
+                              passify_procedure, vc_formula, versioned)
+
+from .test_encode import VARS, make_enc, programs
+
+
+def prep(src: str, name: str | None = None):
+    prog = typecheck(parse_program(src))
+    pname = name or next(n for n, p in prog.procedures.items()
+                         if p.body is not None)
+    return prog, prepare_procedure(prog, prog.proc(pname))
+
+
+class TestPassify:
+    def test_assignment_becomes_assume(self):
+        prog, proc = prep("procedure P(x: int) { x := x + 1; }")
+        passive = passify_procedure(prog, proc)
+        assumes = [s for s in walk_stmts(passive.body)
+                   if isinstance(s, AssumeStmt)]
+        assert len(assumes) == 1
+        eq = assumes[0].formula
+        assert isinstance(eq, RelExpr) and eq.op == "=="
+        assert eq.lhs == VarExpr("x#1")
+
+    def test_versions_thread_through_sequence(self):
+        prog, proc = prep("procedure P(x: int) { x := x + 1; x := x + 1; "
+                          "assert x > 1; }")
+        passive = passify_procedure(prog, proc)
+        names = {s.formula.lhs.name for s in walk_stmts(passive.body)
+                 if isinstance(s, AssumeStmt)}
+        assert names == {"x#1", "x#2"}
+        asserts = [s for s in walk_stmts(passive.body)
+                   if isinstance(s, AssertStmt)]
+        assert "x#2" in repr(asserts[0].formula)
+
+    def test_branch_join_synchronizes(self):
+        prog, proc = prep("""
+            procedure P(x: int, y: int) {
+              if (y == 0) { x := 1; } else { skip; }
+              assert x > 0;
+            }
+        """)
+        passive = passify_procedure(prog, proc)
+        # the else branch must sync x to the joined version
+        text = repr(passive.body)
+        assert "x#1" in text
+        # and the final assert reads the joined version
+        asserts = [s for s in walk_stmts(passive.body)
+                   if isinstance(s, AssertStmt)]
+        assert "x#1" in repr(asserts[-1].formula)
+
+    def test_havoc_bumps_version_without_constraint(self):
+        prog, proc = prep("procedure P(x: int) { havoc x; assert x == 0; }")
+        passive = passify_procedure(prog, proc)
+        assumes = [s for s in walk_stmts(passive.body)
+                   if isinstance(s, AssumeStmt)]
+        assert not assumes  # havoc leaves the new version unconstrained
+
+    def test_versioned_naming(self):
+        assert versioned("x", 0) == "x"
+        assert versioned("x", 3) == "x#3"
+
+
+class TestCompactVcKnownCases:
+    def test_verified_procedure(self):
+        prog, proc = prep("""
+            procedure P(x: int) {
+              assume x > 0;
+              assert x > 0;
+            }
+        """)
+        assert check_procedure_compact(prog, proc) is True
+
+    def test_failing_procedure(self):
+        prog, proc = prep("procedure P(x: int) { assert x > 0; }")
+        assert check_procedure_compact(prog, proc) is False
+
+    def test_map_updates(self):
+        prog, proc = prep("""
+            var M: [int]int;
+            procedure P(i: int) modifies M;
+            {
+              M[i] := 1;
+              assert M[i] == 1;
+            }
+        """)
+        assert check_procedure_compact(prog, proc) is True
+
+    def test_aliasing_failure(self):
+        prog, proc = prep("""
+            var M: [int]int;
+            procedure P(i: int, j: int) modifies M;
+            {
+              M[i] := 1;
+              assert M[j] == 1;
+            }
+        """)
+        assert check_procedure_compact(prog, proc) is False
+
+    def test_nondet_branch_both_checked(self):
+        prog, proc = prep("""
+            procedure P(x: int) {
+              assume x == 1;
+              if (*) { assert x == 1; } else { assert x >= 1; }
+            }
+        """)
+        assert check_procedure_compact(prog, proc) is True
+
+    def test_vc_is_linear_not_exponential(self):
+        # a chain of branches: the compact VC must stay small
+        branches = "\n".join(
+            f"if (x == {i}) {{ x := x + 1; }} else {{ x := x + 2; }}"
+            for i in range(12))
+        prog, proc = prep(f"procedure P(x: int) {{ {branches} assert x >= x; }}")
+        passive = passify_procedure(prog, proc)
+        fm = vc_formula(passive)
+        # count DAG nodes (continuations are shared objects): must be far
+        # below the 2^12 path count
+        seen = set()
+        stack = [fm]
+        while stack and len(seen) < 100000:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            for attr in ("args", "lhs", "rhs", "arg"):
+                sub = getattr(node, attr, None)
+                if sub is None:
+                    continue
+                stack.extend(sub if isinstance(sub, tuple) else [sub])
+        assert len(seen) < 5000
+
+
+class TestAgreementWithPathEncoding:
+    @given(programs(deterministic=False))
+    @settings(max_examples=120, deadline=None)
+    def test_verified_iff_no_conservative_warnings(self, body):
+        """The compact-VC backend and the incremental path encoding must
+        agree on whether any assertion can fail."""
+        enc = make_enc(body)
+        any_fail = any(
+            enc.solver.check(enc.fail_assumptions(ev.aid)) == "sat"
+            for ev in enc.assert_events)
+        var_types = {v: Type.INT for v in VARS}
+        proc = Procedure(name="P", params=tuple(VARS), returns=(),
+                         var_types=var_types, body=body)
+        prog = Program(procedures={"P": proc})
+        verified = check_procedure_compact(prog, proc)
+        assert verified == (not any_fail)

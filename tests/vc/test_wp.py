@@ -1,0 +1,129 @@
+"""Weakest-precondition transformer tests, including the definitional
+property against the reference interpreter: for deterministic programs,
+a state satisfies wp(body, true) iff executing from it fails no assertion.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import (AssertStmt, AssignStmt, AssumeStmt, BinExpr,
+                            BoolLit, IfStmt, IntLit, RelExpr, SeqStmt,
+                            SkipStmt, VarExpr, seq)
+from repro.lang.interp import ExecStatus, Interpreter
+from repro.lang.parser import parse_procedure
+from repro.lang.pretty import pp_formula
+from repro.vc.wp import wp, wp_proc
+
+VARS = ["x", "y", "z"]
+
+
+class TestTextbookCases:
+    def test_skip(self):
+        post = RelExpr("==", VarExpr("x"), IntLit(0))
+        assert wp(SkipStmt(), post) == post
+
+    def test_assign_substitutes(self):
+        # wp(x := x + 1, x == 1) = x + 1 == 1
+        s = AssignStmt("x", BinExpr("+", VarExpr("x"), IntLit(1)))
+        post = RelExpr("==", VarExpr("x"), IntLit(1))
+        out = wp(s, post)
+        assert pp_formula(out) == "(x + 1) == 1"
+
+    def test_assert_conjoins(self):
+        s = AssertStmt(RelExpr(">", VarExpr("x"), IntLit(0)))
+        out = wp(s, BoolLit(True))
+        assert pp_formula(out) == "x > 0"
+
+    def test_assume_implies(self):
+        s = AssumeStmt(RelExpr(">", VarExpr("x"), IntLit(0)))
+        post = RelExpr("==", VarExpr("x"), IntLit(5))
+        out = wp(s, post)
+        assert "==>" in pp_formula(out)
+
+    def test_seq_composes_right_to_left(self):
+        # wp(x := 1; assert x == 1, true) = 1 == 1 ... simplified at eval
+        body = seq(AssignStmt("x", IntLit(1)),
+                   AssertStmt(RelExpr("==", VarExpr("x"), IntLit(1))))
+        out = wp(body, BoolLit(True))
+        interp = Interpreter()
+        assert interp.eval_formula(out, {"x": 99}) is True
+
+    def test_nondet_if_conjoins_branches(self):
+        s = IfStmt(None,
+                   AssertStmt(RelExpr(">", VarExpr("x"), IntLit(0))),
+                   AssertStmt(RelExpr("<", VarExpr("x"), IntLit(0))))
+        out = wp(s, BoolLit(True))
+        interp = Interpreter()
+        # both branches must hold: impossible for any x
+        for v in (-1, 0, 1):
+            assert interp.eval_formula(out, {"x": v}) is False
+
+    def test_map_write_substitution_through_wp(self):
+        from repro.lang.parser import parse_program
+        prog = parse_program("""
+            var Freed: [int]int;
+            procedure Foo(c: int) modifies Freed;
+            {
+              assert Freed[c] == 0;
+              Freed[c] := 1;
+              A: assert Freed[c] == 1;
+            }
+        """)
+        out = wp_proc(prog.proc("Foo").body)
+        from repro.lang.interp import MapValue
+        interp = Interpreter()
+        assert interp.eval_formula(out, {"Freed": MapValue({}), "c": 3}) is True
+        assert interp.eval_formula(out, {"Freed": MapValue({3: 1}), "c": 3}) is False
+
+
+# ----------------------------------------------------------------------
+# the definitional property, via random deterministic programs
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def det_programs(draw):
+    depth = draw(st.integers(0, 3))
+
+    def expr(d):
+        kind = draw(st.integers(0, 2 if d == 0 else 3))
+        if kind == 0:
+            return IntLit(draw(st.integers(-3, 3)))
+        if kind in (1, 2):
+            return VarExpr(draw(st.sampled_from(VARS)))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return BinExpr(op, expr(d - 1), expr(d - 1))
+
+    def cond():
+        op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+        return RelExpr(op, expr(1), expr(1))
+
+    def stmt(d):
+        kind = draw(st.integers(0, 3 if d == 0 else 5))
+        if kind == 0:
+            return AssignStmt(draw(st.sampled_from(VARS)), expr(1))
+        if kind == 1:
+            return AssertStmt(cond())
+        if kind == 2:
+            return AssumeStmt(cond())
+        if kind == 3:
+            return SkipStmt()
+        if kind == 4:
+            return IfStmt(cond(), stmt(d - 1), stmt(d - 1))
+        return seq(stmt(d - 1), stmt(d - 1))
+
+    return stmt(depth)
+
+
+class TestDefinitionalProperty:
+    @given(det_programs(),
+           st.tuples(st.integers(-3, 3), st.integers(-3, 3),
+                     st.integers(-3, 3)))
+    @settings(max_examples=300, deadline=None)
+    def test_wp_matches_interpreter(self, body, values):
+        state = dict(zip(VARS, values))
+        formula = wp(body, BoolLit(True))
+        interp = Interpreter()
+        in_wp = interp.eval_formula(formula, dict(state))
+        result = interp.run(body, dict(state))
+        failed = result.status == ExecStatus.ASSERT_FAIL
+        assert in_wp == (not failed)
