@@ -1,9 +1,15 @@
 """Shared helpers for the figure benchmarks."""
 
+import json
 import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Machine-readable perf trajectory, at the repo root so successive PRs can
+# diff it: suite wall-times, total oracle queries, cache hits, and the
+# SAT-core counters land here, one top-level section per benchmark.
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 # Paper-vs-us scale factor for suite sizes; raise for a longer, closer-to-
 # paper-sized run: REPRO_BENCH_SCALE=3 pytest benchmarks/ --benchmark-only
@@ -20,3 +26,35 @@ def emit(name: str, table: str) -> None:
     path.write_text(table + "\n")
     print(f"\n=== {name} (also written to {path}) ===")
     print(table)
+
+
+def emit_json(section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` into BENCH_perf.json.
+
+    The file accumulates sections across benchmark runs (fig9, fig6, ...)
+    so the whole perf picture survives partial reruns; ``meta`` records
+    the knobs the numbers were taken under.
+    """
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data["meta"] = {"scale": SCALE, "timeout": TIMEOUT}
+    data[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== {section} perf counters merged into {BENCH_JSON} ===")
+
+
+def suite_run_stats(run) -> dict:
+    """The JSON-able observability slice of a ``SuiteRun``."""
+    return {
+        "wall_seconds": round(run.wall_seconds, 3),
+        "queries": run.total_queries,
+        "cache_hits": run.total_cache_hits,
+        "queries_saved": run.total_queries_saved,
+        "solver": run.solver_stats,
+        "timeouts": run.n_timeouts,
+    }

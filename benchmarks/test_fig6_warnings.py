@@ -16,7 +16,7 @@ Shapes that must hold (§5.1.1):
 import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
-from _util import SCALE, TIMEOUT, emit
+from _util import SCALE, TIMEOUT, emit, emit_json, suite_run_stats
 
 from repro.bench import (SMALL_SUITE_RECIPES, fig6_table, make_suite,
                          run_conservative, run_suite)
@@ -28,6 +28,8 @@ CONFIGS = [CONC, A1, A2]
 
 
 def test_fig6_warning_reduction(benchmark):
+    perf = {"suites": {}}
+
     def run():
         data = {}
         for name in SMALL_SUITE_RECIPES:
@@ -39,6 +41,8 @@ def test_fig6_warning_reduction(benchmark):
                     runs[(config.name, k)] = run_suite(
                         suite, config, prune_k=k, timeout=TIMEOUT,
                         program=program)
+                perf["suites"][f"{name}/{config.name}"] = suite_run_stats(
+                    runs[(config.name, None)])
             cons = run_conservative(suite, timeout=TIMEOUT, program=program)
             # exclude procedures that timed out in any configuration
             excluded = set()
@@ -53,6 +57,11 @@ def test_fig6_warning_reduction(benchmark):
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("fig6_warnings", fig6_table(data))
+    stats = perf["suites"].values()
+    perf["total_queries"] = sum(s["queries"] for s in stats)
+    perf["total_cache_hits"] = sum(s["cache_hits"] for s in stats)
+    perf["total_queries_saved"] = sum(s["queries_saved"] for s in stats)
+    emit_json("fig6_small_suites", perf)
 
     totals = {key: sum(cells.get(key, 0) for cells in data.values())
               for key in

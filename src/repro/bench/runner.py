@@ -26,6 +26,12 @@ class SuiteRun:
     avg_preds: float = 0.0
     avg_clauses: float = 0.0
     avg_seconds: float = 0.0
+    # observability totals across all procedures of the run
+    total_queries: int = 0
+    total_cache_hits: int = 0
+    total_queries_saved: int = 0
+    solver_stats: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
 
     @property
     def n_warnings(self) -> int:
@@ -47,15 +53,17 @@ def compile_suite(suite: Suite) -> Program:
 def run_suite(suite: Suite, config: AbstractionConfig,
               prune_k: int | None = None, timeout: float | None = 10.0,
               program: Program | None = None,
-              max_preds: int = 10) -> SuiteRun:
+              max_preds: int = 10, jobs: int = 1) -> SuiteRun:
     """Analyze every generated function of a suite under one configuration."""
     prog = program if program is not None else compile_suite(suite)
     names = [f.name for f in suite.functions]
+    t0 = time.monotonic()
     report = analyze_program(prog, config=config, prune_k=prune_k,
                              timeout=timeout, proc_names=names,
-                             max_preds=max_preds)
+                             max_preds=max_preds, jobs=jobs)
     run = SuiteRun(suite_name=suite.name, config_name=config.name,
                    prune_k=prune_k, n_procs=len(names))
+    run.wall_seconds = time.monotonic() - t0
     for r in report.reports:
         if r.timed_out:
             run.timed_out.append(r.proc_name)
@@ -64,6 +72,10 @@ def run_suite(suite: Suite, config: AbstractionConfig,
     run.avg_preds = report.avg("n_preds")
     run.avg_clauses = report.avg("n_cover_clauses")
     run.avg_seconds = report.avg("seconds")
+    run.total_queries = report.total("queries")
+    run.total_cache_hits = report.total("cache_hits")
+    run.total_queries_saved = report.total("queries_saved")
+    run.solver_stats = report.solver_totals()
     return run
 
 

@@ -10,7 +10,7 @@
 Usage::
 
     python -m repro [--c] [--config NAME]... [--prune-k K]
-                    [--timeout SECONDS] [--proc NAME] FILE
+                    [--timeout SECONDS] [--proc NAME] [--jobs N] FILE
 
 ``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
 the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import BY_NAME, CONC, analyze_procedure
+from .core import BY_NAME, CONC, analyze_program
 from .core.sib import SibStatus
 from .frontend import compile_c
 from .lang import parse_program, typecheck
@@ -49,6 +49,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="analyze only this procedure")
     ap.add_argument("--unroll", type=int, default=2,
                     help="loop unrolling depth (default 2, as in the paper)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="analyze procedures in N worker processes "
+                         "(default 1: serial, deterministic)")
     ap.add_argument("--show-cons", action="store_true",
                     help="also print the conservative verifier's warnings")
     ap.add_argument("--triage", action="store_true",
@@ -98,12 +101,19 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         proc_names = [n for n, p in program.procedures.items()
                       if p.body is not None]
 
+    by_key = {}
+    for config in configs:
+        rep = analyze_program(
+            program, config=config, prune_k=args.prune_k,
+            timeout=args.timeout, unroll_depth=args.unroll,
+            proc_names=proc_names, jobs=args.jobs)
+        for r in rep.reports:
+            by_key[(r.proc_name, config.name)] = r
+
     any_warning = False
     for name in proc_names:
         for config in configs:
-            report = analyze_procedure(
-                program, name, config=config, prune_k=args.prune_k,
-                timeout=args.timeout, unroll_depth=args.unroll)
+            report = by_key[(name, config.name)]
             header = f"{name} [{config.name}" + \
                 (f", k={args.prune_k}" if args.prune_k is not None else "") + "]"
             if report.timed_out:

@@ -1,7 +1,8 @@
 """The paper's contribution: abstract semantic inconsistency bugs and
 almost-correct specifications (ACSpec)."""
 
-from .acspec import AcspecResult, find_almost_correct_specs
+from .acspec import (AcspecResult, SearchBudgetExceeded,
+                     find_almost_correct_specs)
 from .analysis import (ProcedureReport, ProgramReport, analyze_procedure,
                        analyze_program, conservative_program)
 from .checker import CheckResult, check_procedure
@@ -14,7 +15,7 @@ from .predicates import mine_predicates
 from .sib import SibResult, SibStatus, find_abstract_sibs
 
 __all__ = [
-    "AcspecResult", "find_almost_correct_specs",
+    "AcspecResult", "SearchBudgetExceeded", "find_almost_correct_specs",
     "ProcedureReport", "ProgramReport", "analyze_procedure",
     "analyze_program", "conservative_program",
     "CheckResult", "check_procedure",

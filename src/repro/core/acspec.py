@@ -58,6 +58,11 @@ def find_almost_correct_specs(oracle: DeadFailOracle, cover: ClauseSet,
         nodes = 0
         while frontier:
             c1 = frontier.pop()
+            # Monotonicity hints: c2 = c1 - {clause} is weaker than c1, so
+            # Fail(c1) ⊆ Fail(c2) and Dead(c2) ⊆ Dead(c1) — the parent's
+            # cached results bound every child query (see DeadFailOracle).
+            parent_fail = oracle.cached_fail(c1)
+            parent_dead = oracle.cached_dead(c1)
             for clause in sorted(c1, key=lambda c: sorted(c, key=abs)):
                 c2 = c1 - {clause}
                 if c2 in visited:
@@ -65,11 +70,13 @@ def find_almost_correct_specs(oracle: DeadFailOracle, cover: ClauseSet,
                 visited.add(c2)
                 nodes += 1
                 if nodes > max_nodes:
-                    raise _SearchBudgetExceeded()
-                n_fail = len(oracle.fail_set(c2))
-                if n_fail > min_fail:
-                    continue  # MinFail can only decrease
-                if oracle.dead_set(c2):
+                    raise SearchBudgetExceeded()
+                fail = oracle.fail_set_bounded(c2, min_fail,
+                                               superset_of=parent_fail)
+                if fail is None:
+                    continue  # |Fail| > MinFail, which can only decrease
+                n_fail = len(fail)
+                if oracle.dead_set(c2, subset_of=parent_dead):
                     frontier.append(c2)  # still too strong: keep weakening
                 elif n_fail == min_fail:
                     outputs.add(c2)
@@ -100,8 +107,13 @@ def find_almost_correct_specs(oracle: DeadFailOracle, cover: ClauseSet,
     return result
 
 
-class _SearchBudgetExceeded(Exception):
-    """Internal: converted to a timeout by the analysis driver."""
+class SearchBudgetExceeded(Exception):
+    """The Algorithm-2 frontier search exceeded ``max_nodes``; converted
+    to a timeout by the analysis driver."""
+
+
+# Deprecated alias, kept for callers of the pre-public name.
+_SearchBudgetExceeded = SearchBudgetExceeded
 
 
 def _spec_key(spec: ClauseSet):

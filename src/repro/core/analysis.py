@@ -4,6 +4,13 @@
 timeout accounting; ``analyze_program`` sweeps every procedure of a
 program and aggregates the per-benchmark numbers the paper's tables use
 (warning counts, timeouts, predicates/clauses/time per procedure).
+
+Procedures are analyzed independently (each builds its own encoding and
+solver), so ``analyze_program`` and ``conservative_program`` accept
+``jobs``: with ``jobs > 1`` the sweep fans out across a
+``ProcessPoolExecutor``.  The default ``jobs=1`` keeps the serial,
+deterministic path; results are identical either way (modulo wall-clock
+fields), which is property-tested.
 """
 
 from __future__ import annotations
@@ -14,14 +21,14 @@ from dataclasses import dataclass, field
 from ..lang.ast import Program
 from ..smt.allsat import AllSatBudgetExceeded
 from ..smt.theories.lia import LiaBudgetExceeded
-from .acspec import _SearchBudgetExceeded
+from .acspec import SearchBudgetExceeded
 from .checker import check_procedure
 from .config import AbstractionConfig, CONC
 from .deadfail import AnalysisTimeout, Budget
 from .sib import SibResult, SibStatus, find_abstract_sibs
 
 _BUDGET_ERRORS = (AnalysisTimeout, LiaBudgetExceeded, AllSatBudgetExceeded,
-                  _SearchBudgetExceeded, RecursionError)
+                  SearchBudgetExceeded, RecursionError)
 
 
 @dataclass
@@ -36,6 +43,14 @@ class ProcedureReport:
     n_preds: int = 0
     n_cover_clauses: int = 0
     seconds: float = 0.0
+    # observability (see DeadFailOracle.stats / SatSolver.stats)
+    queries: int = 0
+    cache_hits: int = 0
+    queries_saved: int = 0
+    solver_stats: dict = field(default_factory=dict)
+    # per-phase wall-time breakdown plus the budget left at the end
+    phases: dict = field(default_factory=dict)
+    budget_remaining: float | None = None
 
 
 @dataclass
@@ -65,6 +80,17 @@ class ProgramReport:
         vals = [getattr(r, attr) for r in self.reports if not r.timed_out]
         return sum(vals) / len(vals) if vals else 0.0
 
+    def total(self, attr: str) -> int:
+        return sum(getattr(r, attr) for r in self.reports)
+
+    def solver_totals(self) -> dict:
+        """Element-wise sum of the per-procedure SAT-core counters."""
+        out: dict = {}
+        for r in self.reports:
+            for k, v in r.solver_stats.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
 
 def analyze_procedure(program: Program, proc_name: str,
                       config: AbstractionConfig = CONC,
@@ -88,10 +114,32 @@ def analyze_procedure(program: Program, proc_name: str,
         report.specs = res.specs
         report.n_preds = len(res.preds)
         report.n_cover_clauses = res.n_cover_clauses
+        report.queries = res.queries
+        report.cache_hits = res.cache_hits
+        report.queries_saved = res.queries_saved
+        report.solver_stats = res.solver_stats
+        report.phases = res.timings
     except _BUDGET_ERRORS:
         report.timed_out = True
     report.seconds = time.monotonic() - start
+    report.budget_remaining = budget.remaining()
     return report
+
+
+def _proc_names(program: Program, proc_names: list[str] | None) -> list[str]:
+    if proc_names is not None:
+        return proc_names
+    return [name for name, p in program.procedures.items()
+            if p.body is not None]
+
+
+def _analyze_worker(payload) -> ProcedureReport:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    (program, name, config, prune_k, timeout, unroll_depth, max_preds,
+     lia_budget) = payload
+    return analyze_procedure(program, name, config=config, prune_k=prune_k,
+                             timeout=timeout, unroll_depth=unroll_depth,
+                             max_preds=max_preds, lia_budget=lia_budget)
 
 
 def analyze_program(program: Program,
@@ -101,35 +149,56 @@ def analyze_program(program: Program,
                     unroll_depth: int = 2,
                     max_preds: int = 12,
                     lia_budget: int = 20000,
-                    proc_names: list[str] | None = None) -> ProgramReport:
-    """Analyze every procedure with a body."""
+                    proc_names: list[str] | None = None,
+                    jobs: int = 1) -> ProgramReport:
+    """Analyze every procedure with a body.
+
+    ``jobs > 1`` distributes procedures over that many worker processes;
+    report order always follows ``proc_names`` order.
+    """
     out = ProgramReport(config_name=config.name, prune_k=prune_k)
-    names = proc_names if proc_names is not None else [
-        name for name, p in program.procedures.items() if p.body is not None]
-    for name in names:
-        out.reports.append(analyze_procedure(
-            program, name, config=config, prune_k=prune_k, timeout=timeout,
-            unroll_depth=unroll_depth, max_preds=max_preds,
-            lia_budget=lia_budget))
+    names = _proc_names(program, proc_names)
+    payloads = [(program, name, config, prune_k, timeout, unroll_depth,
+                 max_preds, lia_budget) for name in names]
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            out.reports = list(pool.map(_analyze_worker, payloads))
+    else:
+        out.reports = [_analyze_worker(p) for p in payloads]
     return out
+
+
+def _conservative_worker(payload) -> tuple[str, list, bool]:
+    (program, name, timeout, unroll_depth, lia_budget) = payload
+    try:
+        res = check_procedure(program, name, budget=Budget(timeout),
+                              unroll_depth=unroll_depth,
+                              lia_budget=lia_budget)
+        return name, res.warnings, False
+    except _BUDGET_ERRORS:
+        return name, [], True
 
 
 def conservative_program(program: Program, timeout: float | None = 10.0,
                          unroll_depth: int = 2,
                          lia_budget: int = 20000,
-                         proc_names: list[str] | None = None):
+                         proc_names: list[str] | None = None,
+                         jobs: int = 1):
     """The Cons baseline over a program: (per-proc warning lists, timeouts)."""
+    names = _proc_names(program, proc_names)
+    payloads = [(program, name, timeout, unroll_depth, lia_budget)
+                for name in names]
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            results = list(pool.map(_conservative_worker, payloads))
+    else:
+        results = [_conservative_worker(p) for p in payloads]
     warnings: dict[str, list] = {}
     timeouts = 0
-    names = proc_names if proc_names is not None else [
-        name for name, p in program.procedures.items() if p.body is not None]
-    for name in names:
-        try:
-            res = check_procedure(program, name, budget=Budget(timeout),
-                                  unroll_depth=unroll_depth,
-                                  lia_budget=lia_budget)
-            warnings[name] = res.warnings
-        except _BUDGET_ERRORS:
+    for name, warns, timed_out in results:
+        warnings[name] = warns
+        if timed_out:
             timeouts += 1
-            warnings[name] = []
     return warnings, timeouts

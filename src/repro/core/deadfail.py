@@ -39,8 +39,51 @@ class Budget:
         self.deadline = None if seconds is None else time.monotonic() + seconds
 
     def check(self) -> None:
-        if self.deadline is not None and time.monotonic() > self.deadline:
+        if self.seconds is None:
+            return
+        if self.seconds <= 0 or time.monotonic() > self.deadline:
             raise AnalysisTimeout()
+
+    def remaining(self) -> float | None:
+        """Seconds left before expiry; ``None`` for an unbounded budget."""
+        if self.seconds is None:
+            return None
+        if self.seconds <= 0:
+            return 0.0
+        return max(0.0, self.deadline - time.monotonic())
+
+
+# ----------------------------------------------------------------------
+# Cross-encoding baseline memo.
+#
+# ``Dead(true)`` (the live-location baseline) and ``Fail(true)`` (the
+# conservative verifier's answer) do not depend on the predicate
+# vocabulary — only on the *prepared* procedure and the Dead() semantics
+# knob.  Configurations that share the havoc-returns knob (Conc/A1, and
+# A0/A2) prepare the identical procedure, and pruning sweeps re-analyze
+# it wholesale, so these baselines are memoized per printed procedure
+# (location/assertion ids are assigned deterministically by
+# ``instrument``, so the cached id sets transfer between encodings).
+# ----------------------------------------------------------------------
+
+_BASELINE_CACHE: dict[tuple, frozenset] = {}
+_BASELINE_CACHE_CAP = 4096
+
+
+def _baseline_key(enc: EncodedProcedure, dead_through_failures: bool,
+                  kind: str) -> tuple:
+    return (kind, dead_through_failures,
+            repr(sorted(enc.program.globals.items())), repr(enc.proc))
+
+
+def clear_baseline_cache() -> None:
+    _BASELINE_CACHE.clear()
+
+
+def _baseline_store(key: tuple, value: frozenset) -> None:
+    if len(_BASELINE_CACHE) >= _BASELINE_CACHE_CAP:
+        _BASELINE_CACHE.clear()
+    _BASELINE_CACHE[key] = value
 
 
 class DeadFailOracle:
@@ -59,9 +102,23 @@ class DeadFailOracle:
         self._clause_ind: dict[QClause, int] = {}
         self._fail_cache: dict[ClauseSet, frozenset] = {}
         self._dead_cache: dict[ClauseSet, frozenset] = {}
+        self._entail_cache: dict[tuple, bool] = {}
         self.queries = 0
-        # §2.3: remove Dead(true) from the location set up front.
-        self._live_locs = self._live_under_true()
+        self.fail_queries = 0
+        self.dead_queries = 0
+        self.cache_hits = 0
+        self.queries_saved = 0
+        # §2.3: remove Dead(true) from the location set up front (memoized
+        # across encodings of the same prepared procedure).
+        live_key = _baseline_key(enc, dead_through_failures, "live")
+        cached_live = _BASELINE_CACHE.get(live_key)
+        if cached_live is not None:
+            self.cache_hits += 1
+            self.queries_saved += len(enc.loc_events)
+            self._live_locs = cached_live
+        else:
+            self._live_locs = self._live_under_true()
+            _baseline_store(live_key, self._live_locs)
         self.baseline_dead = frozenset(
             ev.loc_id for ev in enc.loc_events
             if ev.loc_id not in self._live_locs)
@@ -100,44 +157,201 @@ class DeadFailOracle:
         return self.enc.reach_assumptions(
             loc_id, through_failures=self.dead_through_failures)
 
+    def _model_reaches(self, loc_id: int) -> bool:
+        """Does the SAT model of the *last* (sat) check already witness
+        reachability of ``loc_id``?  Sound because a final model is a
+        total, theory-consistent assignment: every reach assumption it
+        satisfies is genuinely satisfiable."""
+        sat = self.enc.solver.sat
+        return all(sat.value(lit) is True for lit in self._reach(loc_id))
+
     def _live_under_true(self) -> frozenset:
         live = set()
         for ev in self.enc.loc_events:
+            if ev.loc_id in live:
+                self.queries_saved += 1
+                continue
             if self._check(self._reach(ev.loc_id)) == "sat":
                 live.add(ev.loc_id)
+                # Harvest the witness: one model certifies every other
+                # location it happens to reach.
+                for other in self.enc.loc_events:
+                    if other.loc_id not in live and \
+                            self._model_reaches(other.loc_id):
+                        live.add(other.loc_id)
         return frozenset(live)
 
     # ------------------------------------------------------------------
     # Fail / Dead over clause sets
+    #
+    # Monotonicity (§3.3): dropping clauses weakens the specification, so
+    # for clause sets c2 ⊆ c1 the semantics guarantee Fail(c1) ⊆ Fail(c2)
+    # and Dead(c2) ⊆ Dead(c1).  Every cached answer for a comparable key
+    # therefore *bounds* the answer for the current key, and Algorithm 2
+    # can additionally pass the parent node's result as an explicit hint —
+    # either way, the bounded assertions/locations need no SAT query.
     # ------------------------------------------------------------------
 
-    def fail_set(self, clauses: ClauseSet) -> frozenset:
+    # Beyond this many cached entries, stop scanning the caches for
+    # comparable keys (the explicit hints still apply; the scan is a
+    # seeding heuristic, not a correctness requirement).
+    _BOUND_SCAN_CAP = 256
+
+    def _fail_bounds(self, key: ClauseSet,
+                     superset_of: frozenset | None) -> tuple[set, set]:
+        """(known failing, candidate) aids for ``fail_set(key)``."""
+        known: set = set(superset_of) if superset_of is not None else set()
+        candidates = {ev.aid for ev in self.enc.assert_events}
+        cache = self._fail_cache
+        if len(cache) <= self._BOUND_SCAN_CAP:
+            items = cache.items()
+        else:
+            # Fail(true) — the weakest key — is cached first and is the
+            # single most useful upper bound; never lose it.
+            items = [(k, v) for k, v in (
+                (frozenset(), cache.get(frozenset())),) if v is not None]
+        for k, v in items:
+            if k <= key:      # weaker spec: Fail(key) ⊆ Fail(k)
+                candidates &= v
+            elif k >= key:    # stronger spec: Fail(k) ⊆ Fail(key)
+                known |= v
+        return known, candidates
+
+    def _dead_bounds(self, key: ClauseSet,
+                     subset_of: frozenset | None) -> tuple[set, set]:
+        """(known dead, candidate) locations for ``dead_set(key)``."""
+        known: set = set()
+        candidates = set(self._live_locs)
+        if subset_of is not None:
+            candidates &= subset_of
+        cache = self._dead_cache
+        if len(cache) <= self._BOUND_SCAN_CAP:
+            for k, v in cache.items():
+                if k >= key:      # stronger spec: Dead(key) ⊆ Dead(k)
+                    candidates &= v
+                elif k <= key:    # weaker spec: Dead(k) ⊆ Dead(key)
+                    known |= v
+        return known, candidates
+
+    def fail_set(self, clauses: ClauseSet,
+                 superset_of: frozenset | None = None) -> frozenset:
+        """``Fail(clauses)``.  ``superset_of`` may name assertions already
+        known to fail (e.g. the Fail set of a stronger parent spec); they
+        are taken on trust and never re-queried."""
         key = frozenset(clauses)
         hit = self._fail_cache.get(key)
         if hit is not None:
+            self.cache_hits += 1
             return hit
+        known, candidates = self._fail_bounds(key, superset_of)
         spec = self._spec_assumptions(key)
         out = set()
         for ev in self.enc.assert_events:
+            if ev.aid in known:
+                out.add(ev.aid)
+                self.queries_saved += 1
+                continue
+            if ev.aid not in candidates:
+                self.queries_saved += 1
+                continue
+            self.fail_queries += 1
             if self._check(spec + self.enc.fail_assumptions(ev.aid)) == "sat":
                 out.add(ev.aid)
         result = frozenset(out)
         self._fail_cache[key] = result
         return result
 
-    def dead_set(self, clauses: ClauseSet) -> frozenset:
+    def fail_set_bounded(self, clauses: ClauseSet, limit: int,
+                         superset_of: frozenset | None = None
+                         ) -> frozenset | None:
+        """``Fail(clauses)`` if it has at most ``limit`` elements, else
+        ``None`` — stopping the enumeration as soon as the count exceeds
+        the limit (Algorithm 2's ``|Fail| > MinFail`` pruning needs only
+        the verdict, not the set)."""
+        key = frozenset(clauses)
+        hit = self._fail_cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit if len(hit) <= limit else None
+        known, candidates = self._fail_bounds(key, superset_of)
+        if len(known) > limit:
+            self.queries_saved += 1
+            return None
+        spec = self._spec_assumptions(key)
+        out = set()
+        for ev in self.enc.assert_events:
+            if ev.aid in known:
+                out.add(ev.aid)
+                self.queries_saved += 1
+            elif ev.aid not in candidates:
+                self.queries_saved += 1
+                continue
+            else:
+                self.fail_queries += 1
+                if self._check(
+                        spec + self.enc.fail_assumptions(ev.aid)) == "sat":
+                    out.add(ev.aid)
+            if len(out) > limit:
+                return None  # partial: do not poison the cache
+        result = frozenset(out)
+        self._fail_cache[key] = result
+        return result
+
+    def dead_set(self, clauses: ClauseSet,
+                 subset_of: frozenset | None = None) -> frozenset:
+        """``Dead(clauses)``.  ``subset_of`` may bound the result from
+        above (e.g. the Dead set of a stronger parent spec); locations
+        outside it are live by monotonicity and never queried."""
         key = frozenset(clauses)
         hit = self._dead_cache.get(key)
         if hit is not None:
+            self.cache_hits += 1
             return hit
+        known, candidates = self._dead_bounds(key, subset_of)
         spec = self._spec_assumptions(key)
         out = set()
+        witnessed_live: set = set()
         for loc in sorted(self._live_locs):
+            if loc in known:
+                out.add(loc)
+                self.queries_saved += 1
+                continue
+            if loc not in candidates or loc in witnessed_live:
+                self.queries_saved += 1
+                continue
+            self.dead_queries += 1
             if self._check(spec + self._reach(loc)) == "unsat":
                 out.add(loc)
+            else:
+                # Live: harvest the witness — the model already settles
+                # every other candidate location it reaches (the spec
+                # assumptions hold in it by construction).
+                for other in candidates:
+                    if other != loc and other not in known and \
+                            other not in witnessed_live and \
+                            self._model_reaches(other):
+                        witnessed_live.add(other)
         result = frozenset(out)
         self._dead_cache[key] = result
         return result
+
+    def cached_fail(self, clauses: ClauseSet) -> frozenset | None:
+        """The cached ``Fail(clauses)``, if any (no queries issued)."""
+        return self._fail_cache.get(frozenset(clauses))
+
+    def cached_dead(self, clauses: ClauseSet) -> frozenset | None:
+        """The cached ``Dead(clauses)``, if any (no queries issued)."""
+        return self._dead_cache.get(frozenset(clauses))
+
+    def stats(self) -> dict:
+        """Counters for the observability layer (see ``bench``)."""
+        return {
+            "queries": self.queries,
+            "fail_queries": self.fail_queries,
+            "dead_queries": self.dead_queries,
+            "cache_hits": self.cache_hits,
+            "queries_saved": self.queries_saved,
+        }
 
     # ------------------------------------------------------------------
     # Fail / Dead over raw formulas
@@ -188,14 +402,23 @@ class DeadFailOracle:
         return current
 
     def _entails(self, clauses, sub_clause) -> bool:
-        """Does the clause set entail the (sub-)clause?"""
+        """Does the clause set entail the (sub-)clause?  Memoized: the
+        fixpoint iteration of :meth:`simplify_clauses` re-asks the same
+        entailments round after round."""
+        key = (frozenset(clauses), frozenset(sub_clause))
+        hit = self._entail_cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
         assumptions = [self.clause_ind(c) for c in clauses]
         for lit in sub_clause:
             p = self.pred_lit(abs(lit) - 1)
             assumptions.append(-p if lit > 0 else p)
         self.budget.check()
         self.queries += 1
-        return self.enc.solver.check(assumptions) == "unsat"
+        result = self.enc.solver.check(assumptions) == "unsat"
+        self._entail_cache[key] = result
+        return result
 
     def _minimize_literals(self, clauses: ClauseSet) -> ClauseSet:
         out: set[QClause] = set()
@@ -226,8 +449,23 @@ class DeadFailOracle:
     # ------------------------------------------------------------------
 
     def conservative_fail(self) -> frozenset:
-        """``Fail(true)`` — what the sound modular verifier reports."""
-        return self.fail_set(frozenset())
+        """``Fail(true)`` — what the sound modular verifier reports.
+
+        Vocabulary-independent, so memoized across encodings of the same
+        prepared procedure (it also upper-bounds every other Fail set
+        through the clause-set cache)."""
+        empty: ClauseSet = frozenset()
+        if empty not in self._fail_cache:
+            key = _baseline_key(self.enc, self.dead_through_failures,
+                                "fail_true")
+            cached = _BASELINE_CACHE.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self.queries_saved += len(self.enc.assert_events)
+                self._fail_cache[empty] = cached
+            else:
+                _baseline_store(key, self.fail_set(empty))
+        return self.fail_set(empty)
 
     def labels_of(self, aids: frozenset) -> list[str]:
         by_aid = {ev.aid: ev.label for ev in self.enc.assert_events}

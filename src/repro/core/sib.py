@@ -17,6 +17,7 @@ runs the whole pipeline of the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..lang.ast import Formula, Procedure, Program
@@ -56,6 +57,13 @@ class SibResult:
     spec_formulas: list = field(default_factory=list)
     min_fail: int = 0
     queries: int = 0
+    # observability: oracle cache behaviour, SAT-core counters, and a
+    # per-phase wall-time breakdown (seconds)
+    cache_hits: int = 0
+    queries_saved: int = 0
+    oracle_stats: dict = field(default_factory=dict)
+    solver_stats: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     @property
     def n_warnings(self) -> int:
@@ -77,25 +85,49 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
     """
     if isinstance(proc, str):
         proc = program.proc(proc)
+    timings: dict[str, float] = {}
+    t0 = time.monotonic()
+
+    def mark(phase: str) -> None:
+        nonlocal t0
+        now = time.monotonic()
+        timings[phase] = timings.get(phase, 0.0) + (now - t0)
+        t0 = now
+
     prepared = prepare_procedure(program, proc,
                                  havoc_returns=config.havoc_returns,
                                  unroll_depth=unroll_depth)
+    mark("lower")
     enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
+    mark("encode")
     preds = mine_predicates(program, prepared,
                             ignore_conditionals=config.ignore_conditionals,
                             max_preds=max_preds)
+    mark("mine")
     oracle = DeadFailOracle(enc, preds, budget=budget)
     conservative = oracle.conservative_fail()
+    mark("baseline")
     result = SibResult(proc_name=proc.name, config=config,
                        status=SibStatus.CORRECT, preds=list(preds))
     result.conservative_warnings = oracle.labels_of(conservative)
+
+    def finish() -> SibResult:
+        result.queries = oracle.queries
+        result.cache_hits = oracle.cache_hits
+        result.queries_saved = oracle.queries_saved
+        result.oracle_stats = oracle.stats()
+        result.solver_stats = enc.solver.sat.stats()
+        result.timings = timings
+        return result
+
     if not conservative:
         # Nothing fails even demonically: nothing to rank.
-        result.queries = oracle.queries
-        return result
+        return finish()
     cover = predicate_cover(oracle)
     result.n_cover_clauses = len(cover)
+    mark("cover")
     acs = find_almost_correct_specs(oracle, cover, prune_k=prune_k)
+    mark("search")
     result.status = SibStatus.SIB if acs.has_abstract_sib else SibStatus.MAYBUG
     result.warnings = oracle.labels_of(acs.warnings)
     result.min_fail = acs.min_fail
@@ -114,5 +146,5 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
         display.append(pp_formula(fm))
     result.specs = display
     result.spec_formulas = formulas
-    result.queries = oracle.queries
-    return result
+    mark("post")
+    return finish()

@@ -184,26 +184,7 @@ def _try_build(solver: Solver, atoms, bound: int, salt: int) -> Model | None:
     keys = sorted({k for cs in (eqs, ineqs) for c in cs for k in c[0]} |
                   {k for c in diseqs for k in c[0]})
     assigned: dict[int, int] = {}
-    work_eqs = list(eqs)
-    for key in keys:
-        found = False
-        candidates = sorted(range(-bound, bound + 1),
-                            key=lambda v: (abs(v), v < 0))
-        if salt:
-            candidates = candidates[salt % 3:] + candidates[:salt % 3]
-        for v in candidates:
-            trial = work_eqs + [({key: Fraction(1)}, Fraction(-v),
-                                 frozenset({"pin"}))]
-            if lia.check(trial, ineqs, diseqs) is None:
-                work_eqs = trial
-                assigned[key] = v
-                found = True
-                break
-        if not found:
-            return None
-    # congruence classes -> values; prefer interpreted constants, then
-    # LIA-assigned keys, then linear combinations of assigned keys, then
-    # fresh distinct values
+
     def linear_value(t: Term) -> int | None:
         cs, k, _ = linearize(t)
         total = k
@@ -214,6 +195,97 @@ def _try_build(solver: Solver, atoms, bound: int, salt: int) -> Model | None:
         return int(total) if total.denominator == 1 else None
 
     classes = theory.euf.equivalence_classes()
+    # Ackermann propagation: LIA sees each select as an opaque key, so
+    # when greedy pinning settles two indices of the same map onto equal
+    # values the select terms must be *told* to agree or their cells
+    # collide (y pinned into {-1,0} with M[-1], M[0], M[y] all
+    # constrained is the canonical failure)
+    selects: list[Term] = []
+    for members in classes.values():
+        for m in members:
+            if m.op is Op.SELECT and m.args[0].op is Op.VAR:
+                selects.append(m)
+    def ackermann_eqs(merged: frozenset) -> tuple[list, frozenset]:
+        out, pairs = [], set()
+        for i in range(len(selects)):
+            for j in range(i + 1, len(selects)):
+                a, b = selects[i], selects[j]
+                if a.args[0].name != b.args[0].name or \
+                        (a.tid, b.tid) in merged:
+                    continue
+                va = linear_value(a.args[1])
+                vb = linear_value(b.args[1])
+                if va is None or vb is None or va != vb:
+                    continue
+                pairs.add((a.tid, b.tid))
+                coeffs, const, _ = _lin_diff(a, b)
+                if coeffs:
+                    out.append((coeffs, const, frozenset({"ack"})))
+        return out, merged | pairs
+
+    base_ack, merged0 = ackermann_eqs(frozenset())
+    work_eqs = list(eqs) + base_ack
+    if lia.check(work_eqs, ineqs, diseqs) is not None:
+        return None
+    # every select and every key feeding a select index must be pinned,
+    # even when LIA never saw it (inner selects of nested indices), or
+    # its cell would take an arbitrary fresh value the final map cannot
+    # honour; pin index-feeding keys before the selects themselves (and
+    # plain index variables before index selects), so collisions surface
+    # before the colliding cells take values
+    index_keys: set[int] = set()
+    for s in selects:
+        index_keys.update(linearize(s.args[1])[0])
+    select_tids = {s.tid for s in selects}
+    keys = sorted(set(keys) | index_keys | select_tids)
+    keys = sorted(keys, key=lambda k: (k not in index_keys,
+                                       k in select_tids, k))
+    candidates = sorted(range(-bound, bound + 1),
+                        key=lambda v: (abs(v), v < 0))
+    if salt:
+        candidates = candidates[salt % 3:] + candidates[:salt % 3]
+    # Backtracking value search.  A pin can be locally feasible yet wedge
+    # the system only when a later pin triggers an Ackermann merge (the
+    # canonical trap: M[-1] := 0 is fine until y := 0 forces
+    # M[y] = M[0] = M[M[-1]]); chronological backtracking undoes such
+    # pins, and a lia.check budget keeps the worst case bounded — on the
+    # happy path this is exactly the old greedy sweep.  Soft
+    # disequalities are shed per level when no value admits them (they
+    # are preferences, not constraints; _verify guards the final model).
+    budget = [250 * (salt + 1)]
+
+    def pin_search(i: int, work_eqs: list, diseqs: list,
+                   merged: frozenset) -> bool:
+        if i == len(keys):
+            return True
+        key = keys[i]
+        for relax in (0, 1, 2):
+            if relax:
+                dropped = [c for c in diseqs if "soft" in c[2] and
+                           (key in c[0] or relax == 2)]
+                if not dropped:
+                    continue
+                diseqs = [c for c in diseqs if c not in dropped]
+            for v in candidates:
+                if budget[0] <= 0:
+                    return False
+                budget[0] -= 1
+                assigned[key] = v
+                ack, child_merged = ackermann_eqs(merged)
+                trial = work_eqs + \
+                    [({key: Fraction(1)}, Fraction(-v),
+                      frozenset({"pin"}))] + ack
+                if lia.check(trial, ineqs, diseqs) is None and \
+                        pin_search(i + 1, trial, diseqs, child_merged):
+                    return True
+                del assigned[key]
+        return False
+
+    if not pin_search(0, work_eqs, diseqs, merged0):
+        return None
+    # congruence classes -> values; prefer interpreted constants, then
+    # LIA-assigned keys, then linear combinations of assigned keys, then
+    # fresh distinct values
     class_value: dict[int, int] = {}
     used = set(assigned.values())
     fresh = max(used | {bound}) + 101

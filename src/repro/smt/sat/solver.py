@@ -101,7 +101,19 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.learned = 0
+        self.restarts = 0
         self._assumptions: list[int] = []
+
+    def stats(self) -> dict:
+        """Search counters, for the observability/bench layer."""
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "learned": self.learned,
+            "restarts": self.restarts,
+        }
 
     # ------------------------------------------------------------------
     # problem construction
@@ -505,6 +517,7 @@ class SatSolver:
                     self.core = []
                     return False
                 learnt, bt = self._analyze(confl)
+                self.learned += 1
                 # Never backjump into the middle of re-deciding assumptions
                 # incorrectly: bt may land inside the assumption prefix; the
                 # decide loop below re-establishes assumptions as needed.
@@ -523,6 +536,7 @@ class SatSolver:
             if conflict_budget_used >= conflicts_until_restart:
                 conflict_budget_used = 0
                 restart_count += 1
+                self.restarts += 1
                 conflicts_until_restart = 100 * _luby(restart_count + 1)
                 self._backjump(0)
                 continue
@@ -560,6 +574,7 @@ class SatSolver:
                                     self.core = []
                                     return False
                                 learnt, bt = self._analyze(confl2)
+                                self.learned += 1
                                 self._backjump(bt)
                                 if len(learnt) == 1:
                                     if not self._enqueue(learnt[0], None):
