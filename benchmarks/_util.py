@@ -18,6 +18,11 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 # Per-procedure timeout, like the paper's 10s
 TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "10.0"))
 
+# Optional persistent-cache directory for warm-start sweeps: point
+# REPRO_BENCH_CACHE_DIR at a directory and a second benchmark run serves
+# unchanged procedures from disk (hits land in BENCH_perf.json "pcache").
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
 
 def emit(name: str, table: str) -> None:
     """Print a rendered table and persist it under benchmarks/results/."""
@@ -57,4 +62,15 @@ def suite_run_stats(run) -> dict:
         "queries_saved": run.total_queries_saved,
         "solver": run.solver_stats,
         "timeouts": run.n_timeouts,
+        "pcache": dict(run.pcache),
     }
+
+
+def sum_pcache(stats) -> dict:
+    """Sum the per-suite persistent-cache counters from suite_run_stats
+    dicts into one hits/misses/stores/invalidations total."""
+    out = {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
+    for s in stats:
+        for k, v in s.get("pcache", {}).items():
+            out[k] = out.get(k, 0) + v
+    return out

@@ -16,7 +16,8 @@ Shapes that must hold (§5.1.1):
 import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
-from _util import SCALE, TIMEOUT, emit, emit_json, suite_run_stats
+from _util import (CACHE_DIR, SCALE, TIMEOUT, emit, emit_json, sum_pcache,
+                   suite_run_stats)
 
 from repro.bench import (SMALL_SUITE_RECIPES, fig6_table, make_suite,
                          run_conservative, run_suite)
@@ -40,10 +41,11 @@ def test_fig6_warning_reduction(benchmark):
                 for k in KS:
                     runs[(config.name, k)] = run_suite(
                         suite, config, prune_k=k, timeout=TIMEOUT,
-                        program=program)
+                        program=program, cache_dir=CACHE_DIR)
                 perf["suites"][f"{name}/{config.name}"] = suite_run_stats(
                     runs[(config.name, None)])
-            cons = run_conservative(suite, timeout=TIMEOUT, program=program)
+            cons = run_conservative(suite, timeout=TIMEOUT, program=program,
+                                    cache_dir=CACHE_DIR)
             # exclude procedures that timed out in any configuration
             excluded = set()
             for r in runs.values():
@@ -61,6 +63,7 @@ def test_fig6_warning_reduction(benchmark):
     perf["total_queries"] = sum(s["queries"] for s in stats)
     perf["total_cache_hits"] = sum(s["cache_hits"] for s in stats)
     perf["total_queries_saved"] = sum(s["queries_saved"] for s in stats)
+    perf["pcache"] = sum_pcache(stats)
     emit_json("fig6_small_suites", perf)
 
     totals = {key: sum(cells.get(key, 0) for cells in data.values())

@@ -13,7 +13,8 @@ import sys
 import time
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
-from _util import SCALE, TIMEOUT, emit, emit_json, suite_run_stats
+from _util import (CACHE_DIR, SCALE, TIMEOUT, emit, emit_json, sum_pcache,
+                   suite_run_stats)
 
 from repro.bench import LARGE_SUITE_RECIPES, fig9_table, make_suite, run_suite
 from repro.bench.runner import compile_suite
@@ -32,7 +33,7 @@ def test_fig9_per_procedure_averages(benchmark):
             cells = {}
             for config in (CONC, A1, A2):
                 r = run_suite(suite, config, timeout=TIMEOUT,
-                              program=program)
+                              program=program, cache_dir=CACHE_DIR)
                 cells[config.name] = (r.avg_preds, r.avg_clauses,
                                       r.avg_seconds)
                 perf["suites"][f"{name}/{config.name}"] = suite_run_stats(r)
@@ -51,6 +52,7 @@ def test_fig9_per_procedure_averages(benchmark):
         for k, v in s["solver"].items():
             solver[k] = solver.get(k, 0) + v
     perf["solver"] = solver
+    perf["pcache"] = sum_pcache(stats)
     emit_json("fig9_performance", perf)
 
     n = len(data)

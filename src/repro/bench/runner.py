@@ -31,6 +31,9 @@ class SuiteRun:
     total_cache_hits: int = 0
     total_queries_saved: int = 0
     solver_stats: dict = field(default_factory=dict)
+    # persistent-cache (repro.core.cache) counters, when a cache_dir
+    # was passed: hits/misses/stores/invalidations
+    pcache: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @property
@@ -53,14 +56,20 @@ def compile_suite(suite: Suite) -> Program:
 def run_suite(suite: Suite, config: AbstractionConfig,
               prune_k: int | None = None, timeout: float | None = 10.0,
               program: Program | None = None,
-              max_preds: int = 10, jobs: int = 1) -> SuiteRun:
-    """Analyze every generated function of a suite under one configuration."""
+              max_preds: int = 10, jobs: int = 1,
+              cache_dir: str | None = None) -> SuiteRun:
+    """Analyze every generated function of a suite under one configuration.
+
+    ``cache_dir`` warm-starts the sweep from the persistent analysis
+    cache; hit/miss counters land in ``SuiteRun.pcache``.
+    """
     prog = program if program is not None else compile_suite(suite)
     names = [f.name for f in suite.functions]
     t0 = time.monotonic()
     report = analyze_program(prog, config=config, prune_k=prune_k,
                              timeout=timeout, proc_names=names,
-                             max_preds=max_preds, jobs=jobs)
+                             max_preds=max_preds, jobs=jobs,
+                             cache_dir=cache_dir)
     run = SuiteRun(suite_name=suite.name, config_name=config.name,
                    prune_k=prune_k, n_procs=len(names))
     run.wall_seconds = time.monotonic() - t0
@@ -76,21 +85,27 @@ def run_suite(suite: Suite, config: AbstractionConfig,
     run.total_cache_hits = report.total("cache_hits")
     run.total_queries_saved = report.total("queries_saved")
     run.solver_stats = report.solver_totals()
+    run.pcache = dict(report.cache_stats)
     return run
 
 
 def run_conservative(suite: Suite, timeout: float | None = 10.0,
-                     program: Program | None = None) -> SuiteRun:
+                     program: Program | None = None,
+                     cache_dir: str | None = None) -> SuiteRun:
     """The Cons baseline over a suite."""
     prog = program if program is not None else compile_suite(suite)
     names = [f.name for f in suite.functions]
+    pcache: dict = {}
     warnings, timeouts = conservative_program(prog, timeout=timeout,
-                                              proc_names=names)
+                                              proc_names=names,
+                                              cache_dir=cache_dir,
+                                              cache_stats_out=pcache)
     run = SuiteRun(suite_name=suite.name, config_name="Cons", prune_k=None,
                    n_procs=len(names))
     run.warnings = {f: sorted(w) for f, w in warnings.items() if w}
     run.timed_out = []  # conservative_program reports a count only
     run._cons_timeouts = timeouts  # type: ignore[attr-defined]
+    run.pcache = pcache
     return run
 
 

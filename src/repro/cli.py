@@ -10,16 +10,22 @@
 Usage::
 
     python -m repro [--c] [--config NAME]... [--prune-k K]
-                    [--timeout SECONDS] [--proc NAME] [--jobs N] FILE
+                    [--timeout SECONDS] [--proc NAME] [--jobs N]
+                    [--cache-dir DIR | --no-cache] FILE
 
 ``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
 the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
-``--proc`` restricts to one procedure.
+``--proc`` restricts to one procedure.  ``--cache-dir`` (default: the
+``REPRO_CACHE_DIR`` environment variable) enables the persistent
+analysis cache, making re-runs on unchanged procedures near-instant;
+``--no-cache`` turns it off regardless.  Every flag is documented with
+examples in ``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core import BY_NAME, CONC, analyze_program
@@ -52,6 +58,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="analyze procedures in N worker processes "
                          "(default 1: serial, deterministic)")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    default=os.environ.get("REPRO_CACHE_DIR"),
+                    help="persistent analysis cache directory (default: "
+                         "$REPRO_CACHE_DIR); unchanged procedures are "
+                         "served from disk instead of re-analyzed")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the persistent cache even if "
+                         "--cache-dir / $REPRO_CACHE_DIR is set")
     ap.add_argument("--show-cons", action="store_true",
                     help="also print the conservative verifier's warnings")
     ap.add_argument("--triage", action="store_true",
@@ -76,6 +90,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    cache_dir = None if args.no_cache else args.cache_dir
+
     if args.triage:
         from .core.report import triage_program
         names = [args.proc] if args.proc else None
@@ -84,7 +100,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
             return 2
         report = triage_program(program, prune_k=args.prune_k,
                                 timeout=args.timeout,
-                                unroll_depth=args.unroll, proc_names=names)
+                                unroll_depth=args.unroll, proc_names=names,
+                                cache_dir=cache_dir)
         for w in report.warnings:
             print(str(w), file=out)
         for name in report.timed_out:
@@ -106,7 +123,7 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         rep = analyze_program(
             program, config=config, prune_k=args.prune_k,
             timeout=args.timeout, unroll_depth=args.unroll,
-            proc_names=proc_names, jobs=args.jobs)
+            proc_names=proc_names, jobs=args.jobs, cache_dir=cache_dir)
         for r in rep.reports:
             by_key[(r.proc_name, config.name)] = r
 

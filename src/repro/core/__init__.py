@@ -5,6 +5,8 @@ from .acspec import (AcspecResult, SearchBudgetExceeded,
                      find_almost_correct_specs)
 from .analysis import (ProcedureReport, ProgramReport, analyze_procedure,
                        analyze_program, conservative_program)
+from .cache import SCHEMA_VERSION as CACHE_SCHEMA_VERSION
+from .cache import AnalysisCache
 from .checker import CheckResult, check_procedure
 from .clauses import (ClauseSet, QClause, clause_formula, clause_set_formula,
                       normalize, prune_clauses)
@@ -18,6 +20,7 @@ __all__ = [
     "AcspecResult", "SearchBudgetExceeded", "find_almost_correct_specs",
     "ProcedureReport", "ProgramReport", "analyze_procedure",
     "analyze_program", "conservative_program",
+    "AnalysisCache", "CACHE_SCHEMA_VERSION",
     "CheckResult", "check_procedure",
     "ClauseSet", "QClause", "clause_formula", "clause_set_formula",
     "normalize", "prune_clauses",

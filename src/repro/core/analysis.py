@@ -11,6 +11,14 @@ solver), so ``analyze_program`` and ``conservative_program`` accept
 ``ProcessPoolExecutor``.  The default ``jobs=1`` keeps the serial,
 deterministic path; results are identical either way (modulo wall-clock
 fields), which is property-tested.
+
+Both sweeps, and ``analyze_procedure`` itself, consult the persistent
+content-addressed cache (`repro.core.cache`) when given one: a procedure
+whose structural hash + configuration fingerprint is already on disk
+returns its stored ``ProcedureReport`` verbatim, with zero solver work.
+Under ``jobs > 1`` every worker opens the same cache directory — records
+are written atomically, so sharing is safe — and the per-worker
+hit/miss/store counters are merged into ``ProgramReport.cache_stats``.
 """
 
 from __future__ import annotations
@@ -19,9 +27,11 @@ import time
 from dataclasses import dataclass, field
 
 from ..lang.ast import Program
+from ..lang.transform import prepare_procedure
 from ..smt.allsat import AllSatBudgetExceeded
 from ..smt.theories.lia import LiaBudgetExceeded
 from .acspec import SearchBudgetExceeded
+from .cache import AnalysisCache, merge_cache_stats
 from .checker import check_procedure
 from .config import AbstractionConfig, CONC
 from .deadfail import AnalysisTimeout, Budget
@@ -58,6 +68,9 @@ class ProgramReport:
     config_name: str
     prune_k: int | None
     reports: list = field(default_factory=list)
+    # persistent-cache counters summed over the sweep (empty when the
+    # sweep ran without a cache): hits/misses/stores/invalidations
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def n_warnings(self) -> int:
@@ -98,16 +111,39 @@ def analyze_procedure(program: Program, proc_name: str,
                       timeout: float | None = 10.0,
                       unroll_depth: int = 2,
                       max_preds: int = 12,
-                      lia_budget: int = 20000) -> ProcedureReport:
-    """Analyze one procedure; budget exhaustion yields ``timed_out``."""
+                      lia_budget: int = 20000,
+                      cache: AnalysisCache | str | None = None
+                      ) -> ProcedureReport:
+    """Analyze one procedure; budget exhaustion yields ``timed_out``.
+
+    ``cache`` (an :class:`AnalysisCache` or a directory path) enables
+    the persistent content-addressed cache: a hit returns the stored
+    report verbatim — bit-identical to the run that produced it — and a
+    completed miss is stored for next time.  Timed-out analyses are
+    never cached (they depend on the budget, which is outside the key).
+    """
+    cache = AnalysisCache.open(cache)
     start = time.monotonic()
+    prepared = None
+    key = None
+    if cache is not None:
+        prepared = prepare_procedure(program, program.proc(proc_name),
+                                     havoc_returns=config.havoc_returns,
+                                     unroll_depth=unroll_depth)
+        key = cache.analysis_key(program, prepared, config=config,
+                                 prune_k=prune_k, unroll_depth=unroll_depth,
+                                 max_preds=max_preds)
+        hit = cache.load_analysis(key)
+        if hit is not None:
+            return hit
     report = ProcedureReport(proc_name=proc_name, config_name=config.name)
     budget = Budget(timeout)
+    res: SibResult | None = None
     try:
-        res: SibResult = find_abstract_sibs(
+        res = find_abstract_sibs(
             program, proc_name, config=config, prune_k=prune_k,
             budget=budget, unroll_depth=unroll_depth, max_preds=max_preds,
-            lia_budget=lia_budget)
+            lia_budget=lia_budget, prepared=prepared)
         report.status = res.status
         report.warnings = res.warnings
         report.conservative_warnings = res.conservative_warnings
@@ -123,6 +159,8 @@ def analyze_procedure(program: Program, proc_name: str,
         report.timed_out = True
     report.seconds = time.monotonic() - start
     report.budget_remaining = budget.remaining()
+    if cache is not None and res is not None and not report.timed_out:
+        cache.store_analysis(key, report, res)
     return report
 
 
@@ -133,13 +171,18 @@ def _proc_names(program: Program, proc_names: list[str] | None) -> list[str]:
             if p.body is not None]
 
 
-def _analyze_worker(payload) -> ProcedureReport:
-    """Module-level so ProcessPoolExecutor can pickle it."""
+def _analyze_worker(payload) -> tuple[ProcedureReport, dict | None]:
+    """Module-level so ProcessPoolExecutor can pickle it.  Returns the
+    report plus this call's persistent-cache counter delta (``None``
+    when no cache directory is configured)."""
     (program, name, config, prune_k, timeout, unroll_depth, max_preds,
-     lia_budget) = payload
-    return analyze_procedure(program, name, config=config, prune_k=prune_k,
-                             timeout=timeout, unroll_depth=unroll_depth,
-                             max_preds=max_preds, lia_budget=lia_budget)
+     lia_budget, cache_dir) = payload
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    report = analyze_procedure(program, name, config=config, prune_k=prune_k,
+                               timeout=timeout, unroll_depth=unroll_depth,
+                               max_preds=max_preds, lia_budget=lia_budget,
+                               cache=cache)
+    return report, (cache.stats() if cache is not None else None)
 
 
 def analyze_program(program: Program,
@@ -150,44 +193,73 @@ def analyze_program(program: Program,
                     max_preds: int = 12,
                     lia_budget: int = 20000,
                     proc_names: list[str] | None = None,
-                    jobs: int = 1) -> ProgramReport:
+                    jobs: int = 1,
+                    cache_dir: str | None = None) -> ProgramReport:
     """Analyze every procedure with a body.
 
     ``jobs > 1`` distributes procedures over that many worker processes;
-    report order always follows ``proc_names`` order.
+    report order always follows ``proc_names`` order.  ``cache_dir``
+    points every worker at one shared persistent analysis cache
+    (`repro.core.cache`); per-worker counters are merged into
+    ``ProgramReport.cache_stats``.
     """
     out = ProgramReport(config_name=config.name, prune_k=prune_k)
     names = _proc_names(program, proc_names)
+    cache_dir = str(cache_dir) if cache_dir is not None else None
     payloads = [(program, name, config, prune_k, timeout, unroll_depth,
-                 max_preds, lia_budget) for name in names]
+                 max_preds, lia_budget, cache_dir) for name in names]
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            out.reports = list(pool.map(_analyze_worker, payloads))
+            results = list(pool.map(_analyze_worker, payloads))
     else:
-        out.reports = [_analyze_worker(p) for p in payloads]
+        results = [_analyze_worker(p) for p in payloads]
+    out.reports = [report for report, _ in results]
+    out.cache_stats = merge_cache_stats(stats for _, stats in results)
     return out
 
 
-def _conservative_worker(payload) -> tuple[str, list, bool]:
-    (program, name, timeout, unroll_depth, lia_budget) = payload
+def _conservative_worker(payload) -> tuple[str, list, bool, dict | None]:
+    (program, name, timeout, unroll_depth, lia_budget, cache_dir) = payload
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    prepared = None
+    key = None
+    if cache is not None:
+        prepared = prepare_procedure(program, program.proc(name),
+                                     unroll_depth=unroll_depth)
+        key = cache.cons_key(program, prepared, unroll_depth=unroll_depth)
+        hit = cache.load_cons(key)
+        if hit is not None:
+            return name, hit, False, cache.stats()
     try:
         res = check_procedure(program, name, budget=Budget(timeout),
                               unroll_depth=unroll_depth,
-                              lia_budget=lia_budget)
-        return name, res.warnings, False
+                              lia_budget=lia_budget, prepared=prepared)
     except _BUDGET_ERRORS:
-        return name, [], True
+        return name, [], True, (cache.stats() if cache is not None else None)
+    if cache is not None:
+        cache.store_cons(key, res)
+    return name, res.warnings, False, (
+        cache.stats() if cache is not None else None)
 
 
 def conservative_program(program: Program, timeout: float | None = 10.0,
                          unroll_depth: int = 2,
                          lia_budget: int = 20000,
                          proc_names: list[str] | None = None,
-                         jobs: int = 1):
-    """The Cons baseline over a program: (per-proc warning lists, timeouts)."""
+                         jobs: int = 1,
+                         cache_dir: str | None = None,
+                         cache_stats_out: dict | None = None):
+    """The Cons baseline over a program: (per-proc warning lists, timeouts).
+
+    ``cache_dir`` enables the shared persistent cache as in
+    :func:`analyze_program`; because the return shape is fixed, the
+    merged cache counters are delivered by mutating ``cache_stats_out``
+    (when a dict is passed) instead of being returned.
+    """
     names = _proc_names(program, proc_names)
-    payloads = [(program, name, timeout, unroll_depth, lia_budget)
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    payloads = [(program, name, timeout, unroll_depth, lia_budget, cache_dir)
                 for name in names]
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -197,8 +269,11 @@ def conservative_program(program: Program, timeout: float | None = 10.0,
         results = [_conservative_worker(p) for p in payloads]
     warnings: dict[str, list] = {}
     timeouts = 0
-    for name, warns, timed_out in results:
+    for name, warns, timed_out, _ in results:
         warnings[name] = warns
         if timed_out:
             timeouts += 1
+    if cache_stats_out is not None:
+        cache_stats_out.update(
+            merge_cache_stats(stats for *_, stats in results))
     return warnings, timeouts

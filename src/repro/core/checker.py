@@ -21,6 +21,11 @@ class CheckResult:
     proc_name: str
     warnings: list = field(default_factory=list)
     n_asserts: int = 0
+    # content-addressing ingredients for the persistent cache (see
+    # repro.core.cache): encoding summary and the baseline sets
+    enc_summary: dict = field(default_factory=dict)
+    live_locs: frozenset = frozenset()
+    fail_aids: frozenset = frozenset()
 
     @property
     def verified(self) -> bool:
@@ -30,14 +35,24 @@ class CheckResult:
 def check_procedure(program: Program, proc: Procedure | str,
                     budget: Budget | None = None,
                     unroll_depth: int = 2,
-                    lia_budget: int = 20000) -> CheckResult:
-    """Run the conservative verifier on one procedure."""
+                    lia_budget: int = 20000,
+                    prepared: Procedure | None = None) -> CheckResult:
+    """Run the conservative verifier on one procedure.
+
+    ``prepared`` may carry the already-lowered procedure (callers that
+    hashed it for the analysis cache pass it back to skip re-lowering).
+    """
     if isinstance(proc, str):
         proc = program.proc(proc)
-    prepared = prepare_procedure(program, proc, unroll_depth=unroll_depth)
+    if prepared is None:
+        prepared = prepare_procedure(program, proc,
+                                     unroll_depth=unroll_depth)
     enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
     oracle = DeadFailOracle(enc, [], budget=budget)
     fails = oracle.conservative_fail()
     return CheckResult(proc_name=proc.name,
                        warnings=oracle.labels_of(fails),
-                       n_asserts=len(enc.assert_events))
+                       n_asserts=len(enc.assert_events),
+                       enc_summary=enc.summary(),
+                       live_locs=oracle.live_locs,
+                       fail_aids=fails)

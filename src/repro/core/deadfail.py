@@ -34,18 +34,42 @@ class AnalysisTimeout(Exception):
 
 
 class Budget:
+    """Wall-clock budget for one per-procedure analysis (the paper's
+    10-second TO accounting).
+
+    Lifecycle (documented in ``docs/cli.md``):
+
+    1. **Construction** fixes the deadline: ``Budget(seconds)`` expires
+       ``seconds`` from *now*; ``Budget(None)`` never expires; any
+       ``seconds <= 0`` is born expired (every ``check()`` raises —
+       useful for "cache-only / no fresh solving" runs and for tests).
+    2. **Checking**: the Dead/Fail oracle calls :meth:`check` before
+       every solver query, so a timeout can only fire between queries,
+       never mid-solve.  Expiry raises :class:`AnalysisTimeout`, which
+       the analysis driver converts into ``ProcedureReport.timed_out``
+       rather than propagating.
+    3. **Inspection**: :meth:`remaining` never raises; the driver stores
+       it as ``ProcedureReport.budget_remaining``.
+
+    A ``Budget`` is single-use: deadlines are absolute, so reusing one
+    across procedures charges them to the same clock.
+    """
+
     def __init__(self, seconds: float | None):
         self.seconds = seconds
         self.deadline = None if seconds is None else time.monotonic() + seconds
 
     def check(self) -> None:
+        """Raise :class:`AnalysisTimeout` iff the budget has expired
+        (no-op for the unbounded ``Budget(None)``)."""
         if self.seconds is None:
             return
         if self.seconds <= 0 or time.monotonic() > self.deadline:
             raise AnalysisTimeout()
 
     def remaining(self) -> float | None:
-        """Seconds left before expiry; ``None`` for an unbounded budget."""
+        """Seconds left before expiry, clamped at ``0.0``; ``None`` for
+        an unbounded budget.  Pre-expired budgets report ``0.0``."""
         if self.seconds is None:
             return None
         if self.seconds <= 0:
@@ -61,9 +85,11 @@ class Budget:
 # vocabulary — only on the *prepared* procedure and the Dead() semantics
 # knob.  Configurations that share the havoc-returns knob (Conc/A1, and
 # A0/A2) prepare the identical procedure, and pruning sweeps re-analyze
-# it wholesale, so these baselines are memoized per printed procedure
-# (location/assertion ids are assigned deterministically by
+# it wholesale, so these baselines are memoized per procedure
+# fingerprint (location/assertion ids are assigned deterministically by
 # ``instrument``, so the cached id sets transfer between encodings).
+# The persistent cache (`repro.core.cache`) pre-seeds this memo from
+# disk via :func:`seed_baselines`.
 # ----------------------------------------------------------------------
 
 _BASELINE_CACHE: dict[tuple, frozenset] = {}
@@ -72,8 +98,7 @@ _BASELINE_CACHE_CAP = 4096
 
 def _baseline_key(enc: EncodedProcedure, dead_through_failures: bool,
                   kind: str) -> tuple:
-    return (kind, dead_through_failures,
-            repr(sorted(enc.program.globals.items())), repr(enc.proc))
+    return (kind, dead_through_failures, enc.fingerprint())
 
 
 def clear_baseline_cache() -> None:
@@ -84,6 +109,24 @@ def _baseline_store(key: tuple, value: frozenset) -> None:
     if len(_BASELINE_CACHE) >= _BASELINE_CACHE_CAP:
         _BASELINE_CACHE.clear()
     _BASELINE_CACHE[key] = value
+
+
+def seed_baselines(fingerprint: str, dead_through_failures: bool,
+                   live_locs=None, fail_true=None) -> None:
+    """Prime the process-wide baseline memo from a persistent cache
+    record (see `repro.core.cache`): ``fingerprint`` is the
+    :func:`repro.vc.encode.procedure_fingerprint` of the prepared
+    procedure the sets were computed for.  Existing in-process entries
+    win (they were computed, not deserialized); unknown values pass
+    ``None``."""
+    if live_locs is not None:
+        key = ("live", dead_through_failures, fingerprint)
+        if key not in _BASELINE_CACHE:
+            _baseline_store(key, frozenset(live_locs))
+    if fail_true is not None:
+        key = ("fail_true", dead_through_failures, fingerprint)
+        if key not in _BASELINE_CACHE:
+            _baseline_store(key, frozenset(fail_true))
 
 
 class DeadFailOracle:
@@ -122,6 +165,12 @@ class DeadFailOracle:
         self.baseline_dead = frozenset(
             ev.loc_id for ev in enc.loc_events
             if ev.loc_id not in self._live_locs)
+
+    @property
+    def live_locs(self) -> frozenset:
+        """Locations live under ``true`` — the §2.3 baseline the
+        location set was pruned to (persisted by the analysis cache)."""
+        return self._live_locs
 
     # ------------------------------------------------------------------
     # plumbing

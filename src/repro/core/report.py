@@ -23,11 +23,11 @@ from dataclasses import dataclass, field
 
 from ..lang.ast import Program
 from ..vc.encode import EncodedProcedure
-from .analysis import _BUDGET_ERRORS
+from .analysis import _BUDGET_ERRORS, analyze_procedure
+from .cache import AnalysisCache
 from .config import A1, A2, CONC
 from .deadfail import Budget
 from .doomed import find_doomed
-from .sib import find_abstract_sibs
 
 
 def witness_path(enc: EncodedProcedure, aid: int,
@@ -99,37 +99,51 @@ class TriageReport:
 def triage_program(program: Program, prune_k: int | None = None,
                    timeout: float | None = 10.0,
                    unroll_depth: int = 2, max_preds: int = 12,
-                   proc_names: list[str] | None = None) -> TriageReport:
+                   proc_names: list[str] | None = None,
+                   cache_dir: str | None = None) -> TriageReport:
     """Run Conc, A1 and A2 plus the doomed-point check over a program and
-    merge the results into one confidence-ordered warning list."""
+    merge the results into one confidence-ordered warning list.
+
+    ``cache_dir`` routes the three per-configuration analyses through
+    the persistent analysis cache, so a re-triage of an unchanged
+    program only pays for the (uncached) doomed-point checks.
+    """
     names = proc_names if proc_names is not None else [
         n for n, p in program.procedures.items() if p.body is not None]
+    cache = AnalysisCache.open(cache_dir)
     report = TriageReport()
     order = {"DOOMED": 0, "HIGH": 1, "MEDIUM": 2, "LOW": 3}
     for name in names:
         per_label: dict[str, TriagedWarning] = {}
+        timed_out = False
         try:
             doomed = find_doomed(program, name, budget=Budget(timeout),
                                  unroll_depth=unroll_depth)
-            for label in doomed.doomed:
-                per_label[label] = TriagedWarning(
-                    proc_name=name, label=label, confidence="DOOMED",
-                    configs=["doomed"])
-            for config, level in ((CONC, "HIGH"), (A1, "MEDIUM"),
-                                  (A2, "LOW")):
-                res = find_abstract_sibs(
-                    program, name, config=config, prune_k=prune_k,
-                    budget=Budget(timeout), unroll_depth=unroll_depth,
-                    max_preds=max_preds)
-                for label in res.warnings:
-                    if label in per_label:
-                        per_label[label].configs.append(config.name)
-                    else:
-                        per_label[label] = TriagedWarning(
-                            proc_name=name, label=label, confidence=level,
-                            configs=[config.name],
-                            spec=res.specs[0] if res.specs else "")
         except _BUDGET_ERRORS:
+            report.timed_out.append(name)
+            continue
+        for label in doomed.doomed:
+            per_label[label] = TriagedWarning(
+                proc_name=name, label=label, confidence="DOOMED",
+                configs=["doomed"])
+        for config, level in ((CONC, "HIGH"), (A1, "MEDIUM"),
+                              (A2, "LOW")):
+            res = analyze_procedure(
+                program, name, config=config, prune_k=prune_k,
+                timeout=timeout, unroll_depth=unroll_depth,
+                max_preds=max_preds, cache=cache)
+            if res.timed_out:
+                timed_out = True
+                break
+            for label in res.warnings:
+                if label in per_label:
+                    per_label[label].configs.append(config.name)
+                else:
+                    per_label[label] = TriagedWarning(
+                        proc_name=name, label=label, confidence=level,
+                        configs=[config.name],
+                        spec=res.specs[0] if res.specs else "")
+        if timed_out:
             report.timed_out.append(name)
             continue
         report.warnings.extend(per_label.values())

@@ -64,6 +64,15 @@ class SibResult:
     oracle_stats: dict = field(default_factory=dict)
     solver_stats: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
+    # content-addressing ingredients the persistent analysis cache
+    # records next to the report (see repro.core.cache): the encoding
+    # summary, the raw predicate cover, and the vocabulary-independent
+    # baseline sets
+    enc_summary: dict = field(default_factory=dict)
+    cover: frozenset = frozenset()
+    dead_through_failures: bool = True
+    baseline_live: frozenset = frozenset()
+    baseline_fail_true: frozenset = frozenset()
 
     @property
     def n_warnings(self) -> int:
@@ -76,11 +85,16 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
                        budget: Budget | None = None,
                        unroll_depth: int = 2,
                        max_preds: int = 12,
-                       lia_budget: int = 20000) -> SibResult:
+                       lia_budget: int = 20000,
+                       prepared: Procedure | None = None) -> SibResult:
     """Run Algorithm 1 for one procedure under one configuration.
 
     ``prune_k`` is the §4.3 clause-pruning bound (None = no pruning).
     ``max_preds`` caps |Q| (the cover enumeration is exponential in |Q|).
+    ``prepared`` may carry the already-lowered procedure (the analysis
+    cache lowers first to compute the content hash); it must equal
+    ``prepare_procedure(program, proc, config.havoc_returns,
+    unroll_depth)``.
     Budget exhaustion raises :class:`repro.core.deadfail.AnalysisTimeout`.
     """
     if isinstance(proc, str):
@@ -94,9 +108,10 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
         timings[phase] = timings.get(phase, 0.0) + (now - t0)
         t0 = now
 
-    prepared = prepare_procedure(program, proc,
-                                 havoc_returns=config.havoc_returns,
-                                 unroll_depth=unroll_depth)
+    if prepared is None:
+        prepared = prepare_procedure(program, proc,
+                                     havoc_returns=config.havoc_returns,
+                                     unroll_depth=unroll_depth)
     mark("lower")
     enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
     mark("encode")
@@ -118,6 +133,10 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
         result.oracle_stats = oracle.stats()
         result.solver_stats = enc.solver.sat.stats()
         result.timings = timings
+        result.enc_summary = enc.summary()
+        result.dead_through_failures = oracle.dead_through_failures
+        result.baseline_live = oracle.live_locs
+        result.baseline_fail_true = conservative
         return result
 
     if not conservative:
@@ -125,6 +144,7 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
         return finish()
     cover = predicate_cover(oracle)
     result.n_cover_clauses = len(cover)
+    result.cover = cover
     mark("cover")
     acs = find_almost_correct_specs(oracle, cover, prune_k=prune_k)
     mark("search")

@@ -27,6 +27,7 @@ are disjoint).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 
@@ -39,6 +40,29 @@ from ..lang.ast import (AssertStmt, AssignStmt, AssumeStmt, BinExpr,
                         StoreExpr, Type, VarExpr)
 from ..smt.api import Solver
 from ..smt.terms import Sort, Term, TermFactory
+
+
+def procedure_fingerprint(program: Program, proc: Procedure) -> str:
+    """Stable content hash of a *prepared* procedure in its program context.
+
+    The digest covers everything the encoding (and hence every Dead/Fail
+    answer) is a function of: the global variable environment, the
+    uninterpreted-function signatures, and the full post-elaboration AST
+    of the procedure (dataclass ``repr`` is structural and deterministic;
+    location/assertion ids are assigned deterministically by
+    ``instrument``).  Two procedures with equal fingerprints produce
+    bit-identical encodings, so the fingerprint is a sound memoization
+    key — used by the in-process baseline memo (`repro.core.deadfail`)
+    and as the content-address of the persistent analysis cache
+    (`repro.core.cache`).
+    """
+    h = hashlib.sha256()
+    h.update(repr(sorted(program.globals.items())).encode())
+    h.update(b"\x00")
+    h.update(repr(sorted(program.functions.items())).encode())
+    h.update(b"\x00")
+    h.update(repr(proc).encode())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -83,6 +107,27 @@ class EncodedProcedure:
         env = dict(self.entry_env)
         pc = self.factory.true
         self._encode_stmt(proc.body, env, pc)
+
+    def fingerprint(self) -> str:
+        """:func:`procedure_fingerprint` of this encoding's procedure,
+        computed once and cached (the AST ``repr`` walk is linear in the
+        body and the fingerprint is consulted on every oracle birth)."""
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = self._fingerprint = procedure_fingerprint(self.program,
+                                                           self.proc)
+        return fp
+
+    def summary(self) -> dict:
+        """A JSON-able structural summary of the encoding — what the
+        persistent cache records next to the analysis result so a record
+        can be sanity-checked without rebuilding the solver."""
+        return {
+            "fingerprint": self.fingerprint(),
+            "n_asserts": len(self.assert_events),
+            "n_locs": len(self.loc_events),
+            "assert_labels": [ev.label for ev in self.assert_events],
+        }
 
     # ------------------------------------------------------------------
     # naming helpers

@@ -1,0 +1,60 @@
+"""The ``Budget`` lifecycle and the deprecated ``_SearchBudgetExceeded``
+alias (both documented in ``docs/cli.md``)."""
+
+import pytest
+
+from repro.core.acspec import SearchBudgetExceeded, _SearchBudgetExceeded
+from repro.core.deadfail import AnalysisTimeout, Budget
+
+
+def test_deprecated_alias_is_the_public_class():
+    # the alias is the same class object, not a subclass: code that
+    # raises either name is caught by handlers for the other
+    assert _SearchBudgetExceeded is SearchBudgetExceeded
+
+
+def test_alias_raises_as_isinstance_of_public_class():
+    with pytest.raises(SearchBudgetExceeded) as exc_info:
+        raise _SearchBudgetExceeded("legacy raise site")
+    assert isinstance(exc_info.value, SearchBudgetExceeded)
+    assert isinstance(exc_info.value, _SearchBudgetExceeded)
+
+
+def test_public_raise_caught_by_alias_handler():
+    with pytest.raises(_SearchBudgetExceeded):
+        raise SearchBudgetExceeded("new raise site")
+
+
+def test_unbounded_budget_never_expires():
+    b = Budget(None)
+    b.check()  # no-op
+    assert b.remaining() is None
+
+
+def test_zero_budget_is_born_expired():
+    b = Budget(0)
+    with pytest.raises(AnalysisTimeout):
+        b.check()
+    assert b.remaining() == 0.0
+
+
+def test_negative_budget_is_born_expired():
+    b = Budget(-1)
+    with pytest.raises(AnalysisTimeout):
+        b.check()
+    assert b.remaining() == 0.0
+
+
+def test_positive_budget_checks_and_counts_down():
+    b = Budget(60.0)
+    b.check()  # far from the deadline: passes
+    rem = b.remaining()
+    assert rem is not None and 0.0 < rem <= 60.0
+
+
+def test_expiry_raises_analysis_timeout():
+    b = Budget(60.0)
+    b.deadline -= 120.0  # wind the absolute deadline into the past
+    with pytest.raises(AnalysisTimeout):
+        b.check()
+    assert b.remaining() == 0.0

@@ -1,0 +1,22 @@
+"""The documentation must stay checkable: relative links resolve and
+fenced python snippets compile (tools/check_docs.py, also run by CI)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_docs_links_and_snippets():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_readme_links_every_doc():
+    readme = (REPO / "README.md").read_text()
+    for doc in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{doc.name}" in readme, (
+            f"README.md does not mention docs/{doc.name}")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Documentation checks, run by `tests/test_docs.py` and the CI docs job.
+
+1. **Link check**: every relative markdown link in README.md and
+   docs/*.md must resolve to an existing file (anchors are stripped;
+   absolute URLs and mailto: are skipped).
+2. **Snippet check**: every fenced ```python block must be valid Python
+   (a `compileall`-style syntax check; snippets are compiled, never
+   executed).
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist just the same
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def check_links(path: Path) -> list[str]:
+    problems = []
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO)}: broken link "
+                            f"-> {target}")
+    return problems
+
+
+def python_snippets(path: Path):
+    """Yield (first_line_number, source) for each ```python block."""
+    lines = path.read_text().splitlines()
+    block: list[str] | None = None
+    start = 0
+    for i, line in enumerate(lines, 1):
+        fence = _FENCE.match(line.strip())
+        if block is None:
+            if fence and fence.group(1) == "python":
+                block, start = [], i + 1
+        elif line.strip().startswith("```"):
+            yield start, "\n".join(block)
+            block = None
+        else:
+            block.append(line)
+
+
+def check_snippets(path: Path) -> list[str]:
+    problems = []
+    for lineno, src in python_snippets(path):
+        try:
+            compile(src, f"{path.relative_to(REPO)}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(f"{path.relative_to(REPO)}:{lineno}: "
+                            f"python snippet does not compile: {exc}")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in doc_files():
+        problems += check_links(path)
+        problems += check_snippets(path)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        n = len(doc_files())
+        print(f"docs OK: {n} files, links resolve, snippets compile")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
