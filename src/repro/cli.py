@@ -11,7 +11,7 @@ Usage::
 
     python -m repro [--c] [--config NAME]... [--prune-k K]
                     [--timeout SECONDS] [--proc NAME] [--jobs N]
-                    [--cache-dir DIR | --no-cache] FILE
+                    [--cache-dir DIR | --no-cache] [--self-check] FILE
 
 ``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
 the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
@@ -66,6 +66,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--no-cache", action="store_true",
                     help="disable the persistent cache even if "
                          "--cache-dir / $REPRO_CACHE_DIR is set")
+    ap.add_argument("--self-check", action="store_true",
+                    help="certificate-check every solver answer: unsat "
+                         "answers must carry a DRUP proof accepted by the "
+                         "standalone checker, sat answers a model "
+                         "satisfying all asserted formulas (exit 3 on any "
+                         "rejection)")
     ap.add_argument("--show-cons", action="store_true",
                     help="also print the conservative verifier's warnings")
     ap.add_argument("--triage", action="store_true",
@@ -92,16 +98,23 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
 
     cache_dir = None if args.no_cache else args.cache_dir
 
+    from .smt.api import CertificateError
+
     if args.triage:
         from .core.report import triage_program
         names = [args.proc] if args.proc else None
         if args.proc and args.proc not in program.procedures:
             print(f"error: no procedure named {args.proc!r}", file=sys.stderr)
             return 2
-        report = triage_program(program, prune_k=args.prune_k,
-                                timeout=args.timeout,
-                                unroll_depth=args.unroll, proc_names=names,
-                                cache_dir=cache_dir)
+        try:
+            report = triage_program(program, prune_k=args.prune_k,
+                                    timeout=args.timeout,
+                                    unroll_depth=args.unroll, proc_names=names,
+                                    cache_dir=cache_dir,
+                                    self_check=args.self_check)
+        except CertificateError as exc:
+            print(f"certificate rejected: {exc}", file=sys.stderr)
+            return 3
         for w in report.warnings:
             print(str(w), file=out)
         for name in report.timed_out:
@@ -119,13 +132,18 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
                       if p.body is not None]
 
     by_key = {}
-    for config in configs:
-        rep = analyze_program(
-            program, config=config, prune_k=args.prune_k,
-            timeout=args.timeout, unroll_depth=args.unroll,
-            proc_names=proc_names, jobs=args.jobs, cache_dir=cache_dir)
-        for r in rep.reports:
-            by_key[(r.proc_name, config.name)] = r
+    try:
+        for config in configs:
+            rep = analyze_program(
+                program, config=config, prune_k=args.prune_k,
+                timeout=args.timeout, unroll_depth=args.unroll,
+                proc_names=proc_names, jobs=args.jobs, cache_dir=cache_dir,
+                self_check=args.self_check)
+            for r in rep.reports:
+                by_key[(r.proc_name, config.name)] = r
+    except CertificateError as exc:
+        print(f"certificate rejected: {exc}", file=sys.stderr)
+        return 3
 
     any_warning = False
     for name in proc_names:

@@ -58,6 +58,9 @@ class ProcedureReport:
     cache_hits: int = 0
     queries_saved: int = 0
     solver_stats: dict = field(default_factory=dict)
+    # certificate counters when the run was self-checking (sat answers
+    # model-validated / unsat answers proof-checked); empty otherwise
+    certificates: dict = field(default_factory=dict)
     # per-phase wall-time breakdown plus the budget left at the end
     phases: dict = field(default_factory=dict)
     budget_remaining: float | None = None
@@ -112,7 +115,8 @@ def analyze_procedure(program: Program, proc_name: str,
                       unroll_depth: int = 2,
                       max_preds: int = 12,
                       lia_budget: int = 20000,
-                      cache: AnalysisCache | str | None = None
+                      cache: AnalysisCache | str | None = None,
+                      self_check: bool = False
                       ) -> ProcedureReport:
     """Analyze one procedure; budget exhaustion yields ``timed_out``.
 
@@ -121,6 +125,11 @@ def analyze_procedure(program: Program, proc_name: str,
     report verbatim — bit-identical to the run that produced it — and a
     completed miss is stored for next time.  Timed-out analyses are
     never cached (they depend on the budget, which is outside the key).
+
+    ``self_check`` runs the solver in certificate-validating mode: a
+    rejected certificate raises :class:`repro.smt.api.CertificateError`
+    (it is deliberately *not* absorbed as a timeout).  Cache hits skip
+    solving entirely and are returned as-is.
     """
     cache = AnalysisCache.open(cache)
     start = time.monotonic()
@@ -143,7 +152,7 @@ def analyze_procedure(program: Program, proc_name: str,
         res = find_abstract_sibs(
             program, proc_name, config=config, prune_k=prune_k,
             budget=budget, unroll_depth=unroll_depth, max_preds=max_preds,
-            lia_budget=lia_budget, prepared=prepared)
+            lia_budget=lia_budget, prepared=prepared, self_check=self_check)
         report.status = res.status
         report.warnings = res.warnings
         report.conservative_warnings = res.conservative_warnings
@@ -154,6 +163,7 @@ def analyze_procedure(program: Program, proc_name: str,
         report.cache_hits = res.cache_hits
         report.queries_saved = res.queries_saved
         report.solver_stats = res.solver_stats
+        report.certificates = res.oracle_stats.get("certificates", {})
         report.phases = res.timings
     except _BUDGET_ERRORS:
         report.timed_out = True
@@ -176,12 +186,12 @@ def _analyze_worker(payload) -> tuple[ProcedureReport, dict | None]:
     report plus this call's persistent-cache counter delta (``None``
     when no cache directory is configured)."""
     (program, name, config, prune_k, timeout, unroll_depth, max_preds,
-     lia_budget, cache_dir) = payload
+     lia_budget, cache_dir, self_check) = payload
     cache = AnalysisCache(cache_dir) if cache_dir else None
     report = analyze_procedure(program, name, config=config, prune_k=prune_k,
                                timeout=timeout, unroll_depth=unroll_depth,
                                max_preds=max_preds, lia_budget=lia_budget,
-                               cache=cache)
+                               cache=cache, self_check=self_check)
     return report, (cache.stats() if cache is not None else None)
 
 
@@ -194,7 +204,8 @@ def analyze_program(program: Program,
                     lia_budget: int = 20000,
                     proc_names: list[str] | None = None,
                     jobs: int = 1,
-                    cache_dir: str | None = None) -> ProgramReport:
+                    cache_dir: str | None = None,
+                    self_check: bool = False) -> ProgramReport:
     """Analyze every procedure with a body.
 
     ``jobs > 1`` distributes procedures over that many worker processes;
@@ -207,7 +218,8 @@ def analyze_program(program: Program,
     names = _proc_names(program, proc_names)
     cache_dir = str(cache_dir) if cache_dir is not None else None
     payloads = [(program, name, config, prune_k, timeout, unroll_depth,
-                 max_preds, lia_budget, cache_dir) for name in names]
+                 max_preds, lia_budget, cache_dir, self_check)
+                for name in names]
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
@@ -220,7 +232,8 @@ def analyze_program(program: Program,
 
 
 def _conservative_worker(payload) -> tuple[str, list, bool, dict | None]:
-    (program, name, timeout, unroll_depth, lia_budget, cache_dir) = payload
+    (program, name, timeout, unroll_depth, lia_budget, cache_dir,
+     self_check) = payload
     cache = AnalysisCache(cache_dir) if cache_dir else None
     prepared = None
     key = None
@@ -234,7 +247,8 @@ def _conservative_worker(payload) -> tuple[str, list, bool, dict | None]:
     try:
         res = check_procedure(program, name, budget=Budget(timeout),
                               unroll_depth=unroll_depth,
-                              lia_budget=lia_budget, prepared=prepared)
+                              lia_budget=lia_budget, prepared=prepared,
+                              self_check=self_check)
     except _BUDGET_ERRORS:
         return name, [], True, (cache.stats() if cache is not None else None)
     if cache is not None:
@@ -249,7 +263,8 @@ def conservative_program(program: Program, timeout: float | None = 10.0,
                          proc_names: list[str] | None = None,
                          jobs: int = 1,
                          cache_dir: str | None = None,
-                         cache_stats_out: dict | None = None):
+                         cache_stats_out: dict | None = None,
+                         self_check: bool = False):
     """The Cons baseline over a program: (per-proc warning lists, timeouts).
 
     ``cache_dir`` enables the shared persistent cache as in
@@ -259,8 +274,8 @@ def conservative_program(program: Program, timeout: float | None = 10.0,
     """
     names = _proc_names(program, proc_names)
     cache_dir = str(cache_dir) if cache_dir is not None else None
-    payloads = [(program, name, timeout, unroll_depth, lia_budget, cache_dir)
-                for name in names]
+    payloads = [(program, name, timeout, unroll_depth, lia_budget, cache_dir,
+                 self_check) for name in names]
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:

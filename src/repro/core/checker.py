@@ -36,18 +36,22 @@ def check_procedure(program: Program, proc: Procedure | str,
                     budget: Budget | None = None,
                     unroll_depth: int = 2,
                     lia_budget: int = 20000,
-                    prepared: Procedure | None = None) -> CheckResult:
+                    prepared: Procedure | None = None,
+                    self_check: bool = False) -> CheckResult:
     """Run the conservative verifier on one procedure.
 
     ``prepared`` may carry the already-lowered procedure (callers that
     hashed it for the analysis cache pass it back to skip re-lowering).
+    ``self_check`` makes every solver answer certificate-checked
+    (:class:`repro.smt.api.CertificateError` on rejection).
     """
     if isinstance(proc, str):
         proc = program.proc(proc)
     if prepared is None:
         prepared = prepare_procedure(program, proc,
                                      unroll_depth=unroll_depth)
-    enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
+    enc = EncodedProcedure(program, prepared, lia_budget=lia_budget,
+                           self_check=self_check)
     oracle = DeadFailOracle(enc, [], budget=budget)
     fails = oracle.conservative_fail()
     return CheckResult(proc_name=proc.name,

@@ -394,13 +394,18 @@ class DeadFailOracle:
 
     def stats(self) -> dict:
         """Counters for the observability layer (see ``bench``)."""
-        return {
+        out = {
             "queries": self.queries,
             "fail_queries": self.fail_queries,
             "dead_queries": self.dead_queries,
             "cache_hits": self.cache_hits,
             "queries_saved": self.queries_saved,
         }
+        if self.enc.solver.validate:
+            # Certificate counters from the self-checking solver: every
+            # query answer was independently proof-/model-verified.
+            out["certificates"] = dict(self.enc.solver.certificates)
+        return out
 
     # ------------------------------------------------------------------
     # Fail / Dead over raw formulas

@@ -100,7 +100,8 @@ def triage_program(program: Program, prune_k: int | None = None,
                    timeout: float | None = 10.0,
                    unroll_depth: int = 2, max_preds: int = 12,
                    proc_names: list[str] | None = None,
-                   cache_dir: str | None = None) -> TriageReport:
+                   cache_dir: str | None = None,
+                   self_check: bool = False) -> TriageReport:
     """Run Conc, A1 and A2 plus the doomed-point check over a program and
     merge the results into one confidence-ordered warning list.
 
@@ -131,7 +132,7 @@ def triage_program(program: Program, prune_k: int | None = None,
             res = analyze_procedure(
                 program, name, config=config, prune_k=prune_k,
                 timeout=timeout, unroll_depth=unroll_depth,
-                max_preds=max_preds, cache=cache)
+                max_preds=max_preds, cache=cache, self_check=self_check)
             if res.timed_out:
                 timed_out = True
                 break

@@ -86,7 +86,8 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
                        unroll_depth: int = 2,
                        max_preds: int = 12,
                        lia_budget: int = 20000,
-                       prepared: Procedure | None = None) -> SibResult:
+                       prepared: Procedure | None = None,
+                       self_check: bool = False) -> SibResult:
     """Run Algorithm 1 for one procedure under one configuration.
 
     ``prune_k`` is the §4.3 clause-pruning bound (None = no pruning).
@@ -95,6 +96,8 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
     cache lowers first to compute the content hash); it must equal
     ``prepare_procedure(program, proc, config.havoc_returns,
     unroll_depth)``.
+    ``self_check`` certificate-checks every solver answer
+    (:class:`repro.smt.api.CertificateError` on rejection).
     Budget exhaustion raises :class:`repro.core.deadfail.AnalysisTimeout`.
     """
     if isinstance(proc, str):
@@ -113,7 +116,8 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
                                      havoc_returns=config.havoc_returns,
                                      unroll_depth=unroll_depth)
     mark("lower")
-    enc = EncodedProcedure(program, prepared, lia_budget=lia_budget)
+    enc = EncodedProcedure(program, prepared, lia_budget=lia_budget,
+                           self_check=self_check)
     mark("encode")
     preds = mine_predicates(program, prepared,
                             ignore_conditionals=config.ignore_conditionals,

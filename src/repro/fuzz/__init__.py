@@ -1,0 +1,25 @@
+"""Differential fuzzing harness for the whole analysis stack.
+
+The package cross-checks independent implementations of the same
+semantics against each other on randomly generated well-typed programs:
+
+* ``gen``      — seeded random program generator over ``repro.lang``;
+* ``oracles``  — the differential oracles (interpreter vs ``wp``,
+  brute-force enumeration vs the SMT-backed Dead/Fail oracle,
+  incremental vs naive recomputation, cached vs uncached analysis,
+  parallel vs serial sweeps, pretty-print/parse round-trips);
+* ``minimize`` — delta-debugging shrinker for failing programs;
+* ``campaign`` — campaign driver used by ``tools/fuzz.py``; minimized
+  reproducers land in ``tests/corpus/`` where a pytest collector
+  replays them forever.
+"""
+
+from .campaign import CampaignResult, run_campaign
+from .gen import GenConfig, ProgramGen, generate_program
+from .minimize import minimize_program
+from .oracles import ORACLES, run_oracle
+
+__all__ = [
+    "CampaignResult", "GenConfig", "ORACLES", "ProgramGen",
+    "generate_program", "minimize_program", "run_campaign", "run_oracle",
+]

@@ -1,0 +1,123 @@
+"""Delta-debugging minimizer for failing fuzz programs.
+
+Given a program and a predicate ("this oracle still disagrees"), greedily
+apply structural reductions — drop statements, collapse branches, unwrap
+loops, prune unused variables — keeping any reduction under which the
+predicate still holds.  The predicate is re-evaluated from scratch on
+each candidate, so it must be deterministic (the campaign driver passes
+a fixed-seed oracle run).
+
+Candidates that crash the predicate (ill-typed after surgery, analysis
+errors, …) simply don't count as still-failing; the minimizer never
+raises on their behalf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..lang.ast import (
+    IfStmt, Program, SeqStmt, SkipStmt, Stmt, WhileStmt, formula_vars,
+    seq, stmt_vars,
+)
+
+
+def _variants(s: Stmt) -> Iterator[Stmt]:
+    """Candidate one-step reductions of a statement tree, coarsest
+    first (dropping a whole subtree beats shrinking inside it)."""
+    if isinstance(s, SeqStmt):
+        for i in range(len(s.stmts)):
+            yield seq(*s.stmts[:i], *s.stmts[i + 1:])
+        for i, sub in enumerate(s.stmts):
+            for v in _variants(sub):
+                yield seq(*s.stmts[:i], v, *s.stmts[i + 1:])
+    elif isinstance(s, IfStmt):
+        yield s.then
+        yield s.els
+        for v in _variants(s.then):
+            yield IfStmt(s.cond, v, s.els)
+        for v in _variants(s.els):
+            yield IfStmt(s.cond, s.then, v)
+    elif isinstance(s, WhileStmt):
+        yield s.body
+        yield SkipStmt()
+        for v in _variants(s.body):
+            yield WhileStmt(s.cond, v)
+    elif not isinstance(s, SkipStmt):
+        yield SkipStmt()
+
+
+def _with_body(program: Program, name: str, body: Stmt) -> Program:
+    proc = replace(program.proc(name), body=body)
+    return replace(program,
+                   procedures={**program.procedures, name: proc})
+
+
+def _prune_vars(program: Program, name: str) -> Program:
+    """Drop parameters/locals the body no longer mentions."""
+    proc = program.proc(name)
+    used = stmt_vars(proc.body) | formula_vars(proc.requires) | \
+        formula_vars(proc.ensures) | set(proc.returns)
+    pruned = replace(
+        proc,
+        params=tuple(p for p in proc.params if p in used),
+        locals=tuple(v for v in proc.locals if v in used),
+        var_types={v: t for v, t in proc.var_types.items() if v in used})
+    return replace(program, procedures={**program.procedures, name: pruned})
+
+
+def minimize_program(program: Program,
+                     still_fails: Callable[[Program], bool],
+                     max_checks: int = 200) -> Program:
+    """Greedy 1-step delta debugging: repeatedly apply the first
+    reduction that keeps ``still_fails`` true, until none does (or the
+    check budget runs out).  Returns the (possibly unchanged) smallest
+    program found; ``still_fails(result)`` is guaranteed true provided
+    it was true for the input."""
+    checks = 0
+
+    def holds(candidate: Program) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            return False
+
+    names = [n for n, p in program.procedures.items() if p.body is not None]
+    shrinking = True
+    while shrinking and checks < max_checks:
+        shrinking = False
+        for name in names:
+            for body in _variants(program.proc(name).body):
+                if checks >= max_checks:
+                    break
+                candidate = _with_body(program, name, seq(body))
+                if holds(candidate):
+                    program = candidate
+                    shrinking = True
+                    break
+            if shrinking:
+                break
+    for name in names:
+        pruned = _prune_vars(program, name)
+        if pruned != program and checks < max_checks and holds(pruned):
+            program = pruned
+    return program
+
+
+def count_stmts(program: Program) -> int:
+    """Size metric used in tests and campaign logs."""
+    from ..lang.ast import walk_stmts
+    return sum(sum(1 for _ in walk_stmts(p.body))
+               for p in program.procedures.values() if p.body is not None)
+
+
+def has_assert(program: Program) -> bool:
+    from ..lang.ast import asserts_in
+    return any(p.body is not None and asserts_in(p.body)
+               for p in program.procedures.values())
+
+
+__all__ = ["minimize_program", "count_stmts", "has_assert"]

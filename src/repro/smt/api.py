@@ -38,15 +38,37 @@ class SolverError(RuntimeError):
     pass
 
 
+class CertificateError(SolverError):
+    """A solver answer failed its independent certificate check: an UNSAT
+    proof was rejected by the standalone checker, or a SAT model did not
+    satisfy every asserted formula."""
+
+
 class Solver:
     def __init__(self, factory: TermFactory | None = None,
-                 lia_budget: int = 20000):
+                 lia_budget: int = 20000, validate: bool = False):
         self.factory = factory if factory is not None else TermFactory()
         self.sat = SatSolver()
         self.cnf = CnfBuilder(self.factory, self.sat)
         self.theory = TheoryCore(self.factory, self.cnf, lia_budget=lia_budget)
         self.sat.theory = self.theory
         self._last_result: str | None = None
+        # Self-checking mode: every "unsat" answer must carry a DRUP-style
+        # proof accepted by repro.smt.proofcheck, and every "sat" answer a
+        # model under which all asserted (and assumption-enabled guarded)
+        # formulas evaluate to true.  CertificateError otherwise.
+        self.validate = validate
+        self._asserted: list[Term] = []
+        self._guarded: dict[int, list[Term]] = {}
+        self.last_model = None  # repro.smt.model.Model after a validated sat
+        self.certificates = {"sat_checked": 0, "unsat_checked": 0,
+                             "proof_steps": 0}
+        self._proof_checker = None
+        self._proof_pos = 0
+        if validate:
+            from .proofcheck import DrupChecker
+            self.sat.enable_proof()
+            self._proof_checker = DrupChecker()
 
     # ------------------------------------------------------------------
     # preprocessing
@@ -75,6 +97,10 @@ class Solver:
     def add(self, *formulas: Term) -> None:
         self.sat._backjump(0)
         for fm in formulas:
+            if self.validate:
+                # Keep the *original* term: evaluating it under the model
+                # also cross-checks store elimination and ite purification.
+                self._asserted.append(fm)
             self.cnf.assert_formula(self._prepare(fm))
 
     def lit_for(self, formula: Term) -> int:
@@ -90,6 +116,8 @@ class Solver:
         """Assert ``indicator -> formula``; enable it by assuming
         ``indicator`` in :meth:`check`."""
         self.sat._backjump(0)
+        if self.validate:
+            self._guarded.setdefault(indicator, []).append(formula)
         self.cnf.assert_implication(indicator, self._prepare(formula))
 
     def add_clause_lits(self, lits: Iterable[int]) -> None:
@@ -105,7 +133,63 @@ class Solver:
     def check(self, assumptions: Sequence[int] = ()) -> str:
         res = self.sat.solve(assumptions)
         self._last_result = "sat" if res else "unsat"
+        if self.validate:
+            self._replay_proof()
+            if res:
+                self._certify_sat()
+                self.certificates["sat_checked"] += 1
+            else:
+                self.certificates["unsat_checked"] += 1
         return self._last_result
+
+    # ------------------------------------------------------------------
+    # certificates (validate mode)
+    # ------------------------------------------------------------------
+
+    def _replay_proof(self) -> None:
+        """Feed the proof-log suffix since the previous check into the
+        standalone checker.  Each learnt clause is verified RUP; an UNSAT
+        answer additionally ends in a verified final clause."""
+        from .proofcheck import ProofError
+        log = self.sat.proof
+        steps = log.steps
+        while self._proof_pos < len(steps):
+            tag, lits = steps[self._proof_pos]
+            try:
+                self._proof_checker.step(tag, lits)
+            except ProofError as exc:
+                raise CertificateError(
+                    f"unsat certificate rejected at proof step "
+                    f"{self._proof_pos}: {exc}") from None
+            self._proof_pos += 1
+            self.certificates["proof_steps"] += 1
+        if self._last_result == "unsat":
+            if not steps or steps[-1][0] != "f":
+                raise CertificateError(
+                    "unsat answer carries no final proof clause")
+
+    def _certify_sat(self) -> None:
+        """Re-evaluate every asserted formula (and every guarded formula
+        whose indicator is true in the assignment) under an extracted
+        theory model."""
+        from .model import extract_model
+        model = extract_model(self)
+        if model is None:
+            raise CertificateError("sat certificate: model extraction failed")
+        for fm in self._asserted:
+            if not model.eval_bool(fm):
+                raise CertificateError(
+                    "sat certificate: model falsifies asserted formula "
+                    f"{fm!r}")
+        for ind, fms in self._guarded.items():
+            if self.sat.value(ind) is not True:
+                continue
+            for fm in fms:
+                if not model.eval_bool(fm):
+                    raise CertificateError(
+                        "sat certificate: model falsifies guarded formula "
+                        f"{fm!r} (indicator {ind})")
+        self.last_model = model
 
     def check_formula(self, formula: Term,
                       assumptions: Sequence[int] = ()) -> str:
@@ -143,8 +227,8 @@ class Solver:
 
 
 def solve_formula(factory: TermFactory, formula: Term,
-                  lia_budget: int = 20000) -> str:
+                  lia_budget: int = 20000, validate: bool = False) -> str:
     """Convenience one-shot satisfiability check."""
-    s = Solver(factory, lia_budget=lia_budget)
+    s = Solver(factory, lia_budget=lia_budget, validate=validate)
     s.add(formula)
     return s.check()

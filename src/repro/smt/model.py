@@ -88,7 +88,14 @@ class Model:
             return bool(self.var_values.get(t.name, 0))
         if op is Op.EQ:
             if t.args[0].sort is Sort.MAP:
-                return self.eval_map(t.args[0]) == self.eval_map(t.args[1])
+                # Extensional comparison over the (infinite) index domain:
+                # equal defaults and equal entries after dropping entries
+                # that merely restate the default.
+                ea, da = self.eval_map(t.args[0])
+                eb, db = self.eval_map(t.args[1])
+                return da == db and \
+                    {k: v for k, v in ea.items() if v != da} == \
+                    {k: v for k, v in eb.items() if v != db}
             return self.eval_int(t.args[0]) == self.eval_int(t.args[1])
         if op is Op.LE:
             return self.eval_int(t.args[0]) <= self.eval_int(t.args[1])
@@ -195,27 +202,34 @@ def _try_build(solver: Solver, atoms, bound: int, salt: int) -> Model | None:
         return int(total) if total.denominator == 1 else None
 
     classes = theory.euf.equivalence_classes()
-    # Ackermann propagation: LIA sees each select as an opaque key, so
-    # when greedy pinning settles two indices of the same map onto equal
-    # values the select terms must be *told* to agree or their cells
-    # collide (y pinned into {-1,0} with M[-1], M[0], M[y] all
-    # constrained is the canonical failure)
+    # Ackermann propagation: LIA sees each select and each uninterpreted
+    # application as an opaque key, so when greedy pinning settles two
+    # indices of the same map — or the argument tuples of the same
+    # function — onto equal values, the terms must be *told* to agree or
+    # their cells/table rows collide (y pinned into {-1,0} with M[-1],
+    # M[0], M[y] all constrained is the canonical failure).  Each entry
+    # is (group key, term, argument terms that must match).
+    apps: list[tuple[tuple, Term, tuple[Term, ...]]] = []
     selects: list[Term] = []
     for members in classes.values():
         for m in members:
             if m.op is Op.SELECT and m.args[0].op is Op.VAR:
                 selects.append(m)
+                apps.append((("map", m.args[0].name), m, (m.args[1],)))
+            elif m.op is Op.APPLY:
+                apps.append((("fun", m.payload[0]), m, m.args))
     def ackermann_eqs(merged: frozenset) -> tuple[list, frozenset]:
         out, pairs = [], set()
-        for i in range(len(selects)):
-            for j in range(i + 1, len(selects)):
-                a, b = selects[i], selects[j]
-                if a.args[0].name != b.args[0].name or \
+        for i in range(len(apps)):
+            for j in range(i + 1, len(apps)):
+                (ga, a, argsa), (gb, b, argsb) = apps[i], apps[j]
+                if ga != gb or len(argsa) != len(argsb) or \
                         (a.tid, b.tid) in merged:
                     continue
-                va = linear_value(a.args[1])
-                vb = linear_value(b.args[1])
-                if va is None or vb is None or va != vb:
+                vals = [(linear_value(x), linear_value(y))
+                        for x, y in zip(argsa, argsb)]
+                if any(va is None or vb is None or va != vb
+                       for va, vb in vals):
                     continue
                 pairs.add((a.tid, b.tid))
                 coeffs, const, _ = _lin_diff(a, b)
@@ -227,16 +241,19 @@ def _try_build(solver: Solver, atoms, bound: int, salt: int) -> Model | None:
     work_eqs = list(eqs) + base_ack
     if lia.check(work_eqs, ineqs, diseqs) is not None:
         return None
-    # every select and every key feeding a select index must be pinned,
-    # even when LIA never saw it (inner selects of nested indices), or
-    # its cell would take an arbitrary fresh value the final map cannot
-    # honour; pin index-feeding keys before the selects themselves (and
-    # plain index variables before index selects), so collisions surface
-    # before the colliding cells take values
+    # every select/application and every key feeding a select index or
+    # an application argument must be pinned, even when LIA never saw it
+    # (inner selects of nested indices; a variable only occurring inside
+    # f(-b)), or its cell/row would be built from an arbitrary fresh
+    # value that disagrees with the final variable assignment the model
+    # evaluates with; pin feeder keys before the selects/applications
+    # themselves, so collisions surface before the colliding cells take
+    # values
     index_keys: set[int] = set()
-    for s in selects:
-        index_keys.update(linearize(s.args[1])[0])
-    select_tids = {s.tid for s in selects}
+    for _, _, args in apps:
+        for arg in args:
+            index_keys.update(linearize(arg)[0])
+    select_tids = {t.tid for _, t, _ in apps}
     keys = sorted(set(keys) | index_keys | select_tids)
     keys = sorted(keys, key=lambda k: (k not in index_keys,
                                        k in select_tids, k))

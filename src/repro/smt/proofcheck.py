@@ -1,0 +1,297 @@
+"""Standalone DRUP-style proof checker.
+
+This module validates the clause-derivation proofs emitted by the CDCL
+core (``repro.smt.sat.solver.ProofLog``) **without importing anything
+from the solver**: it re-implements unit propagation from scratch over a
+plain integer-literal clause database, so a bug in the solver's
+propagation or conflict analysis cannot also hide in the checker.
+
+A proof is a chronological sequence of steps ``(tag, clause)``:
+
+========  ==============================================================
+``"i"``   input clause — admitted without checking (the problem itself)
+``"t"``   theory lemma — T-valid by construction, admitted as a trusted
+          axiom (it is *not* propositionally derivable)
+``"a"``   addition — must be RUP (reverse unit propagation: asserting
+          the negation of every literal and propagating to fixpoint must
+          yield a conflict) w.r.t. all clauses admitted so far; then it
+          joins the database
+``"d"``   deletion — removes one copy of the clause from the database
+``"f"``   final clause of one UNSAT answer — must be RUP, but is only
+          checked, never added (an empty final clause certifies
+          unconditional unsatisfiability; a non-empty one certifies that
+          its negated literals form an unsat core)
+========  ==============================================================
+
+The checker is *incremental*: one :class:`DrupChecker` can consume the
+suffix of a long-lived solver's log after each ``solve()`` call, so the
+cost of re-verifying a shared clause database is paid once.
+
+A small textual serialization (one step per line, DIMACS-style
+``0``-terminated) is provided for corpus files and tests::
+
+    i 1 2 0
+    i -1 2 0
+    a 2 0
+    f 0
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class ProofError(Exception):
+    """A proof step failed to check (bogus derivation, malformed text,
+    deletion of an absent clause, ...)."""
+
+
+class DrupChecker:
+    """Incremental RUP checker over an integer-literal clause database.
+
+    Uses its own two-watched-literal propagation.  Root-level consequences
+    of the database (units and their propagations) are kept persistently;
+    RUP checks push temporary assignments on top and undo them afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._clauses: list[list[int] | None] = []  # by id; None = deleted
+        self._by_key: dict[tuple[int, ...], list[int]] = {}  # multiset of ids
+        # watched literal -> ids of clauses watching it (cl[0]/cl[1])
+        self._watch: dict[int, list[int]] = {}
+        self._assign: dict[int, int] = {}  # var -> _TRUE/_FALSE
+        self._trail: list[int] = []
+        self._qhead = 0
+        # The database alone propagates to a conflict: everything is RUP.
+        self._contradiction = False
+        self.checked = 0  # derivations + finals successfully verified
+
+    # -- assignment helpers -------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign.get(abs(lit), _UNASSIGNED)
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else -v
+
+    def _assert_lit(self, lit: int) -> bool:
+        """Make ``lit`` true; returns False on conflict."""
+        val = self._value(lit)
+        if val == _TRUE:
+            return True
+        if val == _FALSE:
+            return False
+        self._assign[abs(lit)] = _TRUE if lit > 0 else _FALSE
+        self._trail.append(lit)
+        return True
+
+    def _undo_to(self, mark: int) -> None:
+        for lit in self._trail[mark:]:
+            del self._assign[abs(lit)]
+        del self._trail[mark:]
+        self._qhead = min(self._qhead, mark)
+
+    # -- propagation ---------------------------------------------------
+
+    def _propagate(self) -> bool:
+        """Unit propagation to fixpoint; returns False on conflict."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            watchlist = self._watch.get(-lit)
+            if not watchlist:
+                continue
+            keep: list[int] = []
+            for pos, cid in enumerate(watchlist):
+                cl = self._clauses[cid]
+                if cl is None:
+                    continue  # lazily drop deleted clauses
+                if cl[0] == -lit:
+                    cl[0], cl[1] = cl[1], cl[0]
+                first = cl[0]
+                if self._value(first) == _TRUE:
+                    keep.append(cid)
+                    continue
+                moved = False
+                for k in range(2, len(cl)):
+                    if self._value(cl[k]) != _FALSE:
+                        cl[1], cl[k] = cl[k], cl[1]
+                        self._watch.setdefault(cl[1], []).append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(cid)
+                if self._value(first) == _FALSE:
+                    keep.extend(watchlist[pos + 1:])
+                    self._watch[-lit] = keep
+                    self._qhead = len(self._trail)
+                    return False
+                self._assert_lit(first)
+            self._watch[-lit] = keep
+        return True
+
+    # -- clause admission ---------------------------------------------
+
+    @staticmethod
+    def _key(lits: Iterable[int]) -> tuple[int, ...]:
+        return tuple(sorted(set(lits), key=abs))
+
+    def _admit(self, lits: Sequence[int]) -> None:
+        """Add a clause to the database and draw root consequences."""
+        if self._contradiction:
+            return
+        cl = list(self._key(lits))
+        if any(-l in cl for l in cl):
+            return  # tautology: never useful for propagation
+        cid = len(self._clauses)
+        self._by_key.setdefault(tuple(cl), []).append(cid)
+        if not cl:
+            self._clauses.append([])
+            self._contradiction = True
+            return
+        # Position two non-false literals at the watch slots if possible.
+        cl.sort(key=lambda l: 0 if self._value(l) != _FALSE else 1)
+        self._clauses.append(cl)
+        if len(cl) == 1 or self._value(cl[1]) == _FALSE:
+            # Unit (or already falsified) under the root assignment.
+            if not self._assert_lit(cl[0]) or not self._propagate():
+                self._contradiction = True
+            if len(cl) >= 2:
+                self._watch.setdefault(cl[0], []).append(cid)
+                self._watch.setdefault(cl[1], []).append(cid)
+            return
+        self._watch.setdefault(cl[0], []).append(cid)
+        self._watch.setdefault(cl[1], []).append(cid)
+
+    def add_input(self, lits: Sequence[int]) -> None:
+        """Admit an input clause (tag ``i``)."""
+        self._admit(lits)
+
+    def add_axiom(self, lits: Sequence[int]) -> None:
+        """Admit a trusted theory lemma (tag ``t``)."""
+        self._admit(lits)
+
+    def delete(self, lits: Sequence[int]) -> None:
+        """Remove one copy of a clause (tag ``d``).
+
+        Root-level units already propagated from the clause are *not*
+        retracted (the usual DRUP-checker behaviour); our solver never
+        emits deletions, so this exists for the file format and tests.
+        """
+        key = self._key(lits)
+        ids = self._by_key.get(key)
+        if not ids:
+            raise ProofError(f"deletion of absent clause {list(key)}")
+        cid = ids.pop()
+        self._clauses[cid] = None
+
+    # -- RUP checking --------------------------------------------------
+
+    def is_rup(self, lits: Sequence[int]) -> bool:
+        """Does asserting the negation of every literal of ``lits`` and
+        propagating to fixpoint yield a conflict?"""
+        if self._contradiction:
+            return True
+        mark = len(self._trail)
+        ok = True
+        for lit in lits:
+            if not self._assert_lit(-lit):
+                break  # complementary literals or a root-true literal
+        else:
+            ok = self._propagate()
+        conflict = not ok or any(self._value(-l) == _FALSE for l in lits)
+        self._undo_to(mark)
+        return conflict
+
+    def check_derivation(self, lits: Sequence[int]) -> None:
+        """Verify an addition (tag ``a``): RUP check, then admit."""
+        if not self.is_rup(lits):
+            raise ProofError(f"derived clause is not RUP: {sorted(lits, key=abs)}")
+        self.checked += 1
+        self._admit(lits)
+
+    def check_final(self, lits: Sequence[int]) -> None:
+        """Verify a final clause (tag ``f``): RUP check only, no admission."""
+        if not self.is_rup(lits):
+            raise ProofError(f"final clause is not RUP: {sorted(lits, key=abs)}")
+        self.checked += 1
+
+    def step(self, tag: str, lits: Sequence[int]) -> None:
+        """Apply one proof step; raises :class:`ProofError` when invalid."""
+        if tag == "i":
+            self.add_input(lits)
+        elif tag == "t":
+            self.add_axiom(lits)
+        elif tag == "a":
+            self.check_derivation(lits)
+        elif tag == "d":
+            self.delete(lits)
+        elif tag == "f":
+            self.check_final(lits)
+        else:
+            raise ProofError(f"unknown proof step tag {tag!r}")
+
+
+def check_proof(steps: Iterable[tuple[str, Sequence[int]]],
+                require_unsat: bool = False) -> int:
+    """Check a whole proof; returns the number of verified derivations.
+
+    With ``require_unsat=True`` the proof must contain at least one final
+    (``f``) step, i.e. it must actually certify an UNSAT answer.
+    """
+    checker = DrupChecker()
+    finals = 0
+    for i, (tag, lits) in enumerate(steps):
+        try:
+            checker.step(tag, lits)
+        except ProofError as exc:
+            raise ProofError(f"step {i}: {exc}") from None
+        if tag == "f":
+            finals += 1
+    if require_unsat and finals == 0:
+        raise ProofError("proof has no final (f) step: nothing is refuted")
+    return checker.checked
+
+
+# ----------------------------------------------------------------------
+# textual serialization (for corpus files and tests)
+# ----------------------------------------------------------------------
+
+def format_proof(steps: Iterable[tuple[str, Sequence[int]]]) -> str:
+    """One step per line: ``<tag> <lit> ... 0``."""
+    return "".join(f"{tag} {' '.join(map(str, lits))} 0\n".replace("  ", " ")
+                   for tag, lits in steps)
+
+
+def parse_proof(text: str) -> list[tuple[str, tuple[int, ...]]]:
+    """Inverse of :func:`format_proof`; raises on malformed/truncated input."""
+    steps: list[tuple[str, tuple[int, ...]]] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag not in ("i", "t", "a", "d", "f"):
+            raise ProofError(f"line {lineno}: unknown tag {tag!r}")
+        try:
+            lits = [int(p) for p in parts[1:]]
+        except ValueError:
+            raise ProofError(f"line {lineno}: non-integer literal") from None
+        if not lits or lits[-1] != 0:
+            raise ProofError(f"line {lineno}: truncated step (missing "
+                             "terminating 0)")
+        if any(l == 0 for l in lits[:-1]):
+            raise ProofError(f"line {lineno}: literal 0 inside clause")
+        steps.append((tag, tuple(lits[:-1])))
+    return steps
+
+
+def check_proof_text(text: str, require_unsat: bool = False) -> int:
+    """Parse and check a textual proof; returns verified-derivation count."""
+    return check_proof(parse_proof(text), require_unsat=require_unsat)

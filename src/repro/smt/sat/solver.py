@@ -49,6 +49,43 @@ class TheoryInterface:
         return []
 
 
+class ProofLog:
+    """Chronological DRUP-style derivation log.
+
+    Steps are ``(tag, clause)`` pairs with clauses as literal tuples:
+
+    - ``"i"``: an input clause asserted through :meth:`SatSolver.add_clause`;
+    - ``"t"``: a theory lemma — T-valid but not propositionally derivable,
+      so the checker admits it as a trusted axiom;
+    - ``"a"``: a learnt clause, which must be RUP with respect to every
+      clause recorded before it;
+    - ``"f"``: the terminal clause of one UNSAT answer — the empty clause
+      for an unconditional conflict, or the negated unsat core for an
+      assumption-based refutation.  Final clauses are checked but not kept.
+
+    The log is append-only and spans the solver's whole lifetime, so an
+    incremental consumer can verify each ``check()`` by replaying only the
+    suffix added since the previous one (see :mod:`repro.smt.proofcheck`).
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self) -> None:
+        self.steps: list[tuple[str, tuple[int, ...]]] = []
+
+    def input(self, cl: Sequence[int]) -> None:
+        self.steps.append(("i", tuple(cl)))
+
+    def lemma(self, cl: Sequence[int]) -> None:
+        self.steps.append(("t", tuple(cl)))
+
+    def derive(self, cl: Sequence[int]) -> None:
+        self.steps.append(("a", tuple(cl)))
+
+    def final(self, cl: Sequence[int]) -> None:
+        self.steps.append(("f", tuple(cl)))
+
+
 class _Unassigned:
     def __repr__(self) -> str:  # pragma: no cover
         return "UNASSIGNED"
@@ -104,6 +141,17 @@ class SatSolver:
         self.learned = 0
         self.restarts = 0
         self._assumptions: list[int] = []
+        # Optional DRUP-style proof log (None = no logging overhead).
+        self.proof: ProofLog | None = None
+
+    def enable_proof(self) -> ProofLog:
+        """Start recording a clause-derivation proof; returns the log."""
+        if self.proof is None:
+            if self._clauses or self.trail or not self.ok:
+                raise RuntimeError(
+                    "enable_proof must be called before any clause is added")
+            self.proof = ProofLog()
+        return self.proof
 
     def stats(self) -> dict:
         """Search counters, for the observability/bench layer."""
@@ -158,6 +206,10 @@ class SatSolver:
         cl = normalize_clause(lits)
         if cl is None:
             return True  # tautology
+        if self.proof is not None:
+            # Record the clause as given; the checker re-derives the
+            # root-level simplifications below by unit propagation.
+            self.proof.input(cl)
         # Remove root-falsified literals; detect satisfaction.
         out = []
         for lit in cl:
@@ -407,6 +459,10 @@ class SatSolver:
         cl = normalize_clause(lits)
         if cl is None:
             return None
+        if self.proof is not None:
+            # Theory lemmas are T-valid, not propositionally derivable:
+            # the proof checker admits them as trusted axioms.
+            self.proof.lemma(cl)
         vals = [self.value(l) for l in cl]
         if any(v is True for v in vals):
             if len(cl) >= 2:
@@ -499,6 +555,8 @@ class SatSolver:
         self.core = None
         if not self.ok:
             self.core = []
+            if self.proof is not None:
+                self.proof.final(())
             return False
         self._assumptions = list(assumptions)
         self._backjump(0)
@@ -515,9 +573,13 @@ class SatSolver:
                 if self.decision_level() == 0:
                     self.ok = False
                     self.core = []
+                    if self.proof is not None:
+                        self.proof.final(())
                     return False
                 learnt, bt = self._analyze(confl)
                 self.learned += 1
+                if self.proof is not None:
+                    self.proof.derive(learnt)
                 # Never backjump into the middle of re-deciding assumptions
                 # incorrectly: bt may land inside the assumption prefix; the
                 # decide loop below re-establishes assumptions as needed.
@@ -526,6 +588,8 @@ class SatSolver:
                     if not self._enqueue(learnt[0], None):
                         self.ok = False
                         self.core = []
+                        if self.proof is not None:
+                            self.proof.final(())
                         return False
                 else:
                     self._attach(learnt)
@@ -552,6 +616,11 @@ class SatSolver:
                     continue
                 if val is False:
                     self.core = self._analyze_final(a)
+                    if self.proof is not None:
+                        # The negated core is RUP: asserting the core
+                        # literals replays exactly the reason chain that
+                        # _analyze_final closed over, ending in a conflict.
+                        self.proof.final(tuple(-l for l in self.core))
                     return False
                 next_lit = a
                 break
@@ -572,14 +641,20 @@ class SatSolver:
                                 if self.decision_level() == 0:
                                     self.ok = False
                                     self.core = []
+                                    if self.proof is not None:
+                                        self.proof.final(())
                                     return False
                                 learnt, bt = self._analyze(confl2)
                                 self.learned += 1
+                                if self.proof is not None:
+                                    self.proof.derive(learnt)
                                 self._backjump(bt)
                                 if len(learnt) == 1:
                                     if not self._enqueue(learnt[0], None):
                                         self.ok = False
                                         self.core = []
+                                        if self.proof is not None:
+                                            self.proof.final(())
                                         return False
                                 else:
                                     self._attach(learnt)

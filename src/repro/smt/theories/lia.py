@@ -201,14 +201,35 @@ class LiaSolver:
             denom = 1
             for v in list(coeffs.values()) + [const]:
                 denom = denom * v.denominator // gcd(denom, v.denominator)
-            ints = [int(v * denom) for v in coeffs.values()]
+            int_coeffs = {k: int(v * denom) for k, v in coeffs.items()}
+            int_const = int(const * denom)
             g = 0
-            for v in ints:
+            for v in int_coeffs.values():
                 g = gcd(g, abs(v))
-            if g and int(const * denom) % g != 0:
+            if g and int_const % g != 0:
                 return _Presolved(conflict=frozenset(prem))
-            # solve for some variable and substitute everywhere
-            var = next(iter(coeffs))
+            # Solve for some variable and substitute everywhere.  The
+            # pivot must be chosen with care: eliminating ``x`` from
+            # ``2x + y = 0`` substitutes ``x = -y/2`` and *forgets* that
+            # ``x`` is an integer (i.e. that ``y`` is even), making the
+            # reduced system satisfiable at points the original is not —
+            # found by the differential fuzzer as a "sat" answer whose
+            # only models were half-integral.  A pivot whose coefficient
+            # divides every other coefficient and the constant is
+            # integer-lossless (the pivot's value is an integer for any
+            # integer assignment of the rest); prefer the smallest such.
+            var = None
+            for k in sorted(int_coeffs,
+                            key=lambda k: (abs(int_coeffs[k]), k)):
+                a = abs(int_coeffs[k])
+                if all(c % a == 0 for c in int_coeffs.values()) and \
+                        int_const % a == 0:
+                    var = k
+                    break
+            if var is None:
+                # no lossless pivot (e.g. 2x + 3y + 1 = 0): fall back to
+                # the rational-complete elimination, as before
+                var = next(iter(coeffs))
             cv = coeffs[var]
             rest = {k: v for k, v in coeffs.items() if k != var}
             sub_coeffs = lin_scale(rest, Fraction(-1) / cv)

@@ -86,13 +86,18 @@ class EncodedProcedure:
     """The queryable encoding of one prepared procedure."""
 
     def __init__(self, program: Program, proc: Procedure,
-                 lia_budget: int = 20000):
+                 lia_budget: int = 20000, self_check: bool = False):
         if proc.body is None:
             raise ValueError(f"procedure {proc.name} has no body")
         self.program = program
         self.proc = proc
         self.factory = TermFactory()
-        self.solver = Solver(self.factory, lia_budget=lia_budget)
+        # self_check turns on certificate validation: every unsat answer
+        # must carry a checker-accepted DRUP proof, every sat answer a
+        # model satisfying all enabled assertions (CertificateError else).
+        self.self_check = self_check
+        self.solver = Solver(self.factory, lia_budget=lia_budget,
+                             validate=self_check)
         self.entry_env: dict[str, Term] = {}
         self.assert_events: list[AssertEvent] = []
         self.loc_events: list[LocEvent] = []

@@ -1,0 +1,14 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: brute-vs-solver
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: first-failure semantics — at a == 2 both assertions are false,
+// but only the *first* one is the first failure of some execution; the
+// solver's Fail(true) must match the interpreter's stop-at-first-failure
+// behaviour, not the set of all false assertions.
+procedure main(a: int)
+{
+  assume (-2 <= a && a <= 2);
+  assert (a < 2);
+  assert (a != 2);
+}

@@ -1,0 +1,21 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: brute-vs-solver
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: trichotomy — every branch's assertion holds, so Fail(true) is
+// empty and all locations are live; the solver side needs the LIA theory
+// to settle a < b / b < a / a == b consistently with the interpreter.
+procedure main(a: int, b: int)
+{
+  assume (-2 <= a && a <= 2);
+  assume (-2 <= b && b <= 2);
+  if (a < b) {
+    assert (a <= b);
+  } else {
+    if (b < a) {
+      assert (b != a);
+    } else {
+      assert (a == b);
+    }
+  }
+}

@@ -1,0 +1,21 @@
+// fuzz reproducer — replayed forever by tests/corpus/test_corpus_replay.py
+// oracle: cache
+// rng-seed: 1542439414
+// found: campaign-seed=0 iteration=263 kind=certificate
+// detail: sat certificate: model extraction failed — LIA only saw the
+// opaque key f(-b), so b was never pinned; class valuation then gave b
+// and the term -b *independent* fresh values (109 and 110), the
+// function table was built as f(110) = 3, and evaluating the model
+// computed f(-109) instead — missing the table and flipping the atom.
+// Fixed in repro.smt.model by pinning every key feeding an application
+// argument (like select indices) and extending Ackermann propagation
+// from selects to uninterpreted applications.
+function f(int): int;
+
+procedure main(b: int)
+{
+  b := -b;
+  if (f(b) < 3) {
+    skip;
+  }
+}

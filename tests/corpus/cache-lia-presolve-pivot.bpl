@@ -1,0 +1,26 @@
+// fuzz reproducer — replayed forever by tests/corpus/test_corpus_replay.py
+// oracle: cache
+// rng-seed: 0
+// found: campaign-seed=0 iteration=15 kind=certificate
+// detail: sat certificate: model extraction failed — the LIA presolver's
+// Gaussian elimination picked an arbitrary pivot; eliminating x from
+// 2x + y = 0 substitutes x = -y/2 and forgets x's integrality ("y is
+// even"), so DPLL(T) answered sat for an integer-infeasible query and
+// model extraction (correctly) could not build a witness.  Fixed by
+// divisor-aware pivot selection in repro.smt.theories.lia._presolve_raw.
+procedure main(a: int, m: [int]int)
+{
+  m[0] := -a;
+  a := (-a * 2);
+  while (a <= 0) {
+    havoc a;
+  }
+  if (((a <= a ==> a <= 3) || 0 < a)) {
+    a := (-2 - a);
+    if (m[a] < 3) {
+      skip;
+    } else {
+      assert (2 == a ==> (a != 3 && 2 < 3));
+    }
+  }
+}

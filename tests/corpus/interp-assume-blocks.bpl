@@ -1,0 +1,14 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: assume-blocked executions — for inputs with a != 0 the assume
+// blocks the (unique) execution before the assertion is reached; wp must
+// treat those states as vacuously satisfying wp(body, true), matching the
+// interpreter's BLOCKED status (which is not an assertion failure).
+procedure main(a: int)
+{
+  assume (a == 0);
+  assert (a == 0);
+  assert (a < 1);
+}

@@ -1,0 +1,14 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: map index collision — when a == 0 the two stores hit the same
+// cell and m[a] must read back 2, not 1; wp's store/select reasoning and
+// the interpreter's concrete map must agree on the aliasing case.
+procedure main(a: int, m: [int]int)
+{
+  m[a] := 1;
+  m[0] := 2;
+  assert (a == 0 ==> m[a] == 2);
+  assert (a == 1 ==> m[a] == 1);
+}

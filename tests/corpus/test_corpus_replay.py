@@ -1,0 +1,37 @@
+"""Replay every committed fuzz reproducer, forever.
+
+Each ``.bpl`` file in this directory carries a machine-readable header
+(``// oracle:``, ``// rng-seed:``) naming the differential oracle that
+found it (see ``repro.fuzz.oracles`` for the oracle matrix).  A case
+passes when its oracle reports no disagreement *and* no certificate is
+rejected — i.e. the regression it pinned down stays fixed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.campaign import parse_case_header
+from repro.fuzz.oracles import ORACLES, run_oracle
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+
+CORPUS_DIR = Path(__file__).resolve().parent
+CASES = sorted(CORPUS_DIR.glob("*.bpl"))
+
+
+def test_corpus_is_not_empty():
+    assert CASES, "the committed regression corpus must never be empty"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case(path: Path):
+    text = path.read_text()
+    oracle, rng_seed = parse_case_header(text)
+    assert oracle in ORACLES, f"{path.name}: unknown oracle {oracle!r}"
+    program = typecheck(parse_program(text))
+    # CertificateError propagating out of the oracle fails the test too.
+    detail = run_oracle(oracle, program, seed=rng_seed)
+    assert detail is None, f"{path.name}: {detail}"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Self-checking sweep over the fig5-small benchmark suites.
+
+Runs every small suite through ``analyze_program`` and
+``conservative_program`` with ``self_check=True``: each unsat answer
+must carry a DRUP-style proof accepted by the standalone checker
+(``repro.smt.proofcheck``), each sat answer a model under which every
+asserted formula evaluates true.  Any rejected certificate raises
+``CertificateError`` and fails the run (exit 3); a run that somehow
+produced zero checked certificates also fails (exit 1) — it would mean
+validation silently did not happen.
+
+Usage::
+
+    python tools/selfcheck_fig5.py [--scale 1.0] [--timeout 30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import small_suites                      # noqa: E402
+from repro.core import analyze_program, conservative_program  # noqa: E402
+from repro.frontend import compile_c                      # noqa: E402
+from repro.smt.api import CertificateError                # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="selfcheck_fig5",
+        description="certificate-check every solver answer over the "
+                    "fig5-small suites")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="suite scale factor (default 1.0)")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="per-procedure timeout in seconds (default 30)")
+    args = ap.parse_args(argv)
+
+    totals = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
+    t0 = time.monotonic()
+    for suite in small_suites(scale=args.scale):
+        program = compile_c(suite.c_source)
+        try:
+            report = analyze_program(program, timeout=args.timeout,
+                                     self_check=True)
+            conservative_program(program, timeout=args.timeout,
+                                 self_check=True)
+        except CertificateError as exc:
+            print(f"{suite.name}: CERTIFICATE REJECTED: {exc}",
+                  file=sys.stderr)
+            return 3
+        counts = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
+        for r in report.reports:
+            for key in counts:
+                counts[key] += r.certificates.get(key, 0)
+        for key in totals:
+            totals[key] += counts[key]
+        print(f"{suite.name}: {len(report.reports)} procedures, "
+              f"{report.n_timeouts} timeouts, "
+              f"sat_checked={counts['sat_checked']} "
+              f"unsat_checked={counts['unsat_checked']} "
+              f"proof_steps={counts['proof_steps']}")
+    elapsed = time.monotonic() - t0
+    print(f"total: sat_checked={totals['sat_checked']} "
+          f"unsat_checked={totals['unsat_checked']} "
+          f"proof_steps={totals['proof_steps']} in {elapsed:.1f}s")
+    if totals["sat_checked"] + totals["unsat_checked"] == 0:
+        print("error: no certificates were checked — self-check did not "
+              "take effect", file=sys.stderr)
+        return 1
+    print("OK: every answer carried an accepted certificate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
