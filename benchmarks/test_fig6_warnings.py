@@ -16,8 +16,8 @@ Shapes that must hold (§5.1.1):
 import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
-from _util import (CACHE_DIR, SCALE, TIMEOUT, emit, emit_json, sum_pcache,
-                   suite_run_stats)
+from _util import (CACHE_DIR, SCALE, SELF_CHECK, TIMEOUT, emit, emit_json,
+                   sum_pcache, suite_run_stats)
 
 from repro.bench import (SMALL_SUITE_RECIPES, fig6_table, make_suite,
                          run_conservative, run_suite)
@@ -41,11 +41,13 @@ def test_fig6_warning_reduction(benchmark):
                 for k in KS:
                     runs[(config.name, k)] = run_suite(
                         suite, config, prune_k=k, timeout=TIMEOUT,
-                        program=program, cache_dir=CACHE_DIR)
+                        program=program, cache_dir=CACHE_DIR,
+                        self_check=SELF_CHECK)
                 perf["suites"][f"{name}/{config.name}"] = suite_run_stats(
                     runs[(config.name, None)])
             cons = run_conservative(suite, timeout=TIMEOUT, program=program,
-                                    cache_dir=CACHE_DIR)
+                                    cache_dir=CACHE_DIR,
+                                    self_check=SELF_CHECK)
             # exclude procedures that timed out in any configuration
             excluded = set()
             for r in runs.values():

@@ -57,11 +57,14 @@ def run_suite(suite: Suite, config: AbstractionConfig,
               prune_k: int | None = None, timeout: float | None = 10.0,
               program: Program | None = None,
               max_preds: int = 10, jobs: int = 1,
-              cache_dir: str | None = None) -> SuiteRun:
+              cache_dir: str | None = None,
+              self_check: bool = False) -> SuiteRun:
     """Analyze every generated function of a suite under one configuration.
 
     ``cache_dir`` warm-starts the sweep from the persistent analysis
     cache; hit/miss counters land in ``SuiteRun.pcache``.
+    ``self_check`` certificate-checks every solver answer of the sweep
+    (CertificateError on any rejection).
     """
     prog = program if program is not None else compile_suite(suite)
     names = [f.name for f in suite.functions]
@@ -69,7 +72,7 @@ def run_suite(suite: Suite, config: AbstractionConfig,
     report = analyze_program(prog, config=config, prune_k=prune_k,
                              timeout=timeout, proc_names=names,
                              max_preds=max_preds, jobs=jobs,
-                             cache_dir=cache_dir)
+                             cache_dir=cache_dir, self_check=self_check)
     run = SuiteRun(suite_name=suite.name, config_name=config.name,
                    prune_k=prune_k, n_procs=len(names))
     run.wall_seconds = time.monotonic() - t0
@@ -91,7 +94,8 @@ def run_suite(suite: Suite, config: AbstractionConfig,
 
 def run_conservative(suite: Suite, timeout: float | None = 10.0,
                      program: Program | None = None,
-                     cache_dir: str | None = None) -> SuiteRun:
+                     cache_dir: str | None = None,
+                     self_check: bool = False) -> SuiteRun:
     """The Cons baseline over a suite."""
     prog = program if program is not None else compile_suite(suite)
     names = [f.name for f in suite.functions]
@@ -99,7 +103,8 @@ def run_conservative(suite: Suite, timeout: float | None = 10.0,
     warnings, timeouts = conservative_program(prog, timeout=timeout,
                                               proc_names=names,
                                               cache_dir=cache_dir,
-                                              cache_stats_out=pcache)
+                                              cache_stats_out=pcache,
+                                              self_check=self_check)
     run = SuiteRun(suite_name=suite.name, config_name="Cons", prune_k=None,
                    n_procs=len(names))
     run.warnings = {f: sorted(w) for f, w in warnings.items() if w}

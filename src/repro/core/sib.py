@@ -135,7 +135,7 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
         result.cache_hits = oracle.cache_hits
         result.queries_saved = oracle.queries_saved
         result.oracle_stats = oracle.stats()
-        result.solver_stats = enc.solver.sat.stats()
+        result.solver_stats = enc.solver.stats()
         result.timings = timings
         result.enc_summary = enc.summary()
         result.dead_through_failures = oracle.dead_through_failures

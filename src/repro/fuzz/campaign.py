@@ -44,6 +44,8 @@ ROTATION: list[tuple[str, GenConfig]] = [
     ("brute-vs-solver", gen.BRUTE),
     ("incremental-vs-naive", gen.SOLVER),
     ("cache", gen.SOLVER),
+    ("reduction", gen.SOLVER),
+    ("lemma-cache", gen.SOLVER),
 ]
 
 _JOBS_CONFIG = gen.MULTIPROC

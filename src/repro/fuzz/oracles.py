@@ -19,6 +19,9 @@ oracle                 side A                          side B
 ``naive``              ``fail_set``/``dead_set``       recomputation
 ``cache``              uncached analysis               cache miss+store / hit
 ``jobs``               ``analyze_program(jobs=2)``     serial sweep
+``reduction``          learnt-DB reduction on          ``reduce_learnts=False``
+``lemma-cache``        theory-lemma cache + LIA        both knobs off
+                       trail on
 =====================  ==============================  =======================
 
 Fragment restrictions (enforced by the generator presets in ``gen``):
@@ -322,6 +325,45 @@ def jobs_vs_serial(program: Program, rng: random.Random,
     return None
 
 
+# ----------------------------------------------------------------------
+# oracles: solver tuning knobs on vs off
+# ----------------------------------------------------------------------
+
+def _tuning_differential(program: Program, overrides: dict,
+                         what: str) -> str | None:
+    """Analyze with default tuning and with ``overrides``; any semantic
+    difference in the per-procedure reports is a finding.  Self-checking
+    stays on for both sides, so a knob that breaks certificates surfaces
+    as a CertificateError finding too."""
+    from ..smt.tuning import tuning
+    kwargs = dict(timeout=None, lia_budget=5000, max_preds=6,
+                  self_check=True)
+    on = [(r.proc_name, _fields(r))
+          for r in analyze_program(program, **kwargs).reports]
+    with tuning(**overrides):
+        off = [(r.proc_name, _fields(r))
+               for r in analyze_program(program, **kwargs).reports]
+    if on != off:
+        return f"analysis changed with {what} disabled: {off} vs {on}"
+    return None
+
+
+@_skip_on_budget
+def reduction_on_vs_off(program: Program, rng: random.Random) -> str | None:
+    """Learnt-clause DB reduction must be invisible to every report."""
+    return _tuning_differential(program, {"reduce_learnts": False},
+                                "learnt-DB reduction")
+
+
+@_skip_on_budget
+def lemma_cache_on_vs_off(program: Program, rng: random.Random) -> str | None:
+    """The cross-query theory-lemma cache and the incremental LIA trail
+    must be invisible to every report."""
+    return _tuning_differential(
+        program, {"theory_lemma_cache": False, "lia_incremental": False},
+        "the theory-lemma cache and LIA trail")
+
+
 ORACLES = {
     "roundtrip": roundtrip,
     "interp-vs-wp": interp_vs_wp,
@@ -329,6 +371,8 @@ ORACLES = {
     "incremental-vs-naive": incremental_vs_naive,
     "cache": cached_vs_uncached,
     "jobs": jobs_vs_serial,
+    "reduction": reduction_on_vs_off,
+    "lemma-cache": lemma_cache_on_vs_off,
 }
 
 

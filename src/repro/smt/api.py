@@ -130,6 +130,13 @@ class Solver:
     # solving
     # ------------------------------------------------------------------
 
+    def stats(self) -> dict:
+        """Combined search + theory counters (SAT core counters, theory
+        timings, incrementality/lemma-cache hit counts)."""
+        out = self.sat.stats()
+        out.update(self.theory.stats())
+        return out
+
     def check(self, assumptions: Sequence[int] = ()) -> str:
         res = self.sat.solve(assumptions)
         self._last_result = "sat" if res else "unsat"

@@ -13,19 +13,38 @@ exchange between the two theories:
   their equality is entailed; if so a lemma forcing the corresponding
   equality atom is emitted.
 
-Backtracking is handled by rebuilding the (cheap, near-linear) congruence
-closure from the surviving fact prefix — see euf.py.
+Backtracking uses per-literal watermarks into the theories' own undo
+structures: the congruence closure keeps an op-coded undo trail (euf.py)
+and the LIA solver a pushed-fact trail (lia.py), so a pop costs O(undone
+changes) instead of a rebuild.
+
+Two cross-check performance layers ride on top (both controlled by
+:mod:`repro.smt.tuning`, both verdict-preserving):
+
+* the *incremental LIA path* parses every theory atom once (a per-signed-
+  literal memo) and pushes the linear fact into the LIA trail as the lit
+  is asserted, so bound-propagation conflicts surface during the search
+  and a theory check reuses the already-eliminated trail state;
+* the *theory-lemma cache* memoizes final-check verdicts by the asserted
+  theory-atom literal set: once a full assignment's atom set has been
+  checked consistent, later queries in the same sweep that reach the same
+  atom set skip the whole Nelson–Oppen exchange (the lemmas it would
+  re-derive are already permanent clauses in the SAT database).  Only
+  empty verdicts are cached — a lemma-producing check mutates solver
+  state and must re-run.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter as _now
 
 from .sat.solver import SatSolver, TheoryInterface
 from .sat.tseitin import CnfBuilder
 from .terms import Op, Sort, Term, TermFactory
 from .theories.euf import EufSolver
 from .theories.lia import LiaSolver
+from .tuning import TUNING
 
 
 def linearize(t: Term) -> tuple[dict[int, Fraction], Fraction, dict[int, Term]]:
@@ -89,6 +108,10 @@ def _lin_diff(a: Term, b: Term) -> tuple[dict[int, Fraction], Fraction, dict[int
 
 
 class TheoryCore(TheoryInterface):
+    #: Final-verdict memo size cap (entries are small frozensets; the cap
+    #: only exists to bound pathological sweeps).
+    FINAL_MEMO_CAP = 200_000
+
     def __init__(self, factory: TermFactory, cnf: CnfBuilder,
                  lia_budget: int = 20000):
         self.factory = factory
@@ -96,42 +119,141 @@ class TheoryCore(TheoryInterface):
         self.euf = EufSolver()
         self.lia = LiaSolver(budget=lia_budget)
         self._lits: list[int] = []
-        self._dirty = False
         self._key_terms: dict[int, Term] = {}
         # int-equality atoms already strengthened with a trichotomy split
         self._split_done: set[int] = set()
+        # --- incremental bookkeeping (per-lit watermarks) -------------
+        self._incremental = TUNING.lia_incremental
+        self._lemma_cache = TUNING.theory_lemma_cache
+        self._euf_marks: list[int] = []
+        self._lia_marks: list[int] = []
+        self._key_added: list[list[int]] = []  # per-lit LIA key tids
+        self._key_count: dict[int, int] = {}   # live LIA key multiset
+        self._parse_memo: dict[int, tuple | None] = {}
+        self._final_ok: set[frozenset] = set()
+        self.lemmas_replayed = 0
+        self.timings = {"euf": 0.0, "lia": 0.0, "interface": 0.0}
+
+    def stats(self) -> dict:
+        """Theory-side counters, merged into the solver stats by api.py."""
+        return {
+            "lia_incremental_hits": self.lia.incremental_hits,
+            "theory_lemmas_replayed": self.lemmas_replayed,
+            "time_euf": round(self.timings["euf"], 6),
+            "time_lia": round(self.timings["lia"], 6),
+            "time_interface": round(self.timings["interface"], 6),
+        }
 
     # ------------------------------------------------------------------
     # TheoryInterface
     # ------------------------------------------------------------------
 
     def assert_lit(self, lit: int) -> list[int] | None:
-        if self._dirty:
-            self._rebuild()
         self._lits.append(lit)
-        return self._assert_to_euf(lit)
+        self._euf_marks.append(self.euf.mark())
+        self._lia_marks.append(self.lia.trail_mark())
+        self._key_added.append([])
+        t0 = _now()
+        confl = self._assert_to_euf(lit)
+        self.timings["euf"] += _now() - t0
+        if confl is not None or not self._incremental:
+            return confl
+        t0 = _now()
+        confl = self._assert_to_lia(lit)
+        self.timings["lia"] += _now() - t0
+        return confl
 
     def undo_to(self, trail_len: int) -> None:
-        if trail_len < len(self._lits):
-            del self._lits[trail_len:]
-            self._dirty = True
-            self._collect_cache = None
+        if trail_len >= len(self._lits):
+            return
+        t0 = _now()
+        self.euf.undo_to(self._euf_marks[trail_len])
+        self.lia.pop_to(self._lia_marks[trail_len])
+        for tids in self._key_added[trail_len:]:
+            for tid in tids:
+                n = self._key_count[tid] - 1
+                if n:
+                    self._key_count[tid] = n
+                else:
+                    del self._key_count[tid]
+        del self._lits[trail_len:]
+        del self._euf_marks[trail_len:]
+        del self._lia_marks[trail_len:]
+        del self._key_added[trail_len:]
+        self._collect_cache = None
+        self.timings["euf"] += _now() - t0
 
     def check(self, final: bool) -> list[list[int]]:
-        if self._dirty:
-            self._rebuild()
-        lemmas = self._lia_check()
-        if lemmas:
-            return lemmas
-        if final:
+        if not self._incremental:
+            return self._check_legacy(final)
+        key = None
+        if final and self._lemma_cache:
+            key = self._theory_key()
+            if key in self._final_ok:
+                self.lemmas_replayed += 1
+                return []
+        t0 = _now()
+        ctx = None
+        conflict = None
+        if self.lia.trail_mark():
+            key_terms = {tid: self._key_terms[tid]
+                         for tid in self._key_count}
+            euf_eqs = self._euf_equalities_for_lia(key_terms)
+            ctx = self.lia.context(euf_eqs)
+            conflict = ctx.feasible()
+            if conflict is None:
+                conflict = ctx.diseq_conflict()
+        self.timings["lia"] += _now() - t0
+        if conflict is not None:
+            return [self._premises_to_clause(conflict)]
+        if not final:
+            return []
+        t0 = _now()
+        try:
             splits = self._diseq_splits()
             if splits:
                 return splits
             arrays = self._array_lemmas()
             if arrays:
                 return arrays
-            return self._propagate_interface_equalities()
+            if ctx is not None and \
+                    any(t[0] != "ne" for t in self.lia._trail):
+                lemmas = self._interface_lemmas(ctx)
+                if lemmas:
+                    return lemmas
+        finally:
+            self.timings["interface"] += _now() - t0
+        if key is not None and len(self._final_ok) < self.FINAL_MEMO_CAP:
+            self._final_ok.add(key)
         return []
+
+    def _check_legacy(self, final: bool) -> list[list[int]]:
+        t0 = _now()
+        lemmas = self._lia_check()
+        self.timings["lia"] += _now() - t0
+        if lemmas:
+            return lemmas
+        if final:
+            t0 = _now()
+            try:
+                splits = self._diseq_splits()
+                if splits:
+                    return splits
+                arrays = self._array_lemmas()
+                if arrays:
+                    return arrays
+                return self._propagate_interface_equalities()
+            finally:
+                self.timings["interface"] += _now() - t0
+        return []
+
+    def _theory_key(self) -> frozenset:
+        """The asserted theory-relevant literal set: the theory verdict is
+        a function of exactly this set (plus persistent one-shot guards
+        that only ever shrink the lemma output), which makes it the sound
+        memo key for consistent final checks."""
+        v2a = self.cnf.var_to_atom
+        return frozenset(l for l in self._lits if abs(l) in v2a)
 
     def _array_lemmas(self) -> list[list[int]]:
         """Lazy read-over-write instantiation for *derived* store aliases.
@@ -235,14 +357,6 @@ class TheoryCore(TheoryInterface):
     # EUF side
     # ------------------------------------------------------------------
 
-    def _rebuild(self) -> None:
-        self.euf = EufSolver()
-        self._dirty = False
-        for lit in self._lits:
-            confl = self._assert_to_euf(lit)
-            # The prefix was consistent when it was first on the trail.
-            assert confl is None, "inconsistent rebuilt prefix"
-
     def _assert_to_euf(self, lit: int) -> list[int] | None:
         atom = self.cnf.var_to_atom.get(abs(lit))
         if atom is None:
@@ -257,14 +371,7 @@ class TheoryCore(TheoryInterface):
                 premises = self.euf.assert_diseq(a, b, ("lit", lit))
         elif op in (Op.LE, Op.LT):
             # Register the terms so congruence sees them; no EUF semantics.
-            for side in atom.args:
-                self.euf.add_term(side)
-            try:
-                self.euf._process()
-            except Exception as exc:  # EufConflict
-                premises = getattr(exc, "premises", None)
-                if premises is None:
-                    raise
+            premises = self.euf.register_terms(atom.args)
         if premises is None:
             return None
         return self._premises_to_clause(premises)
@@ -292,11 +399,61 @@ class TheoryCore(TheoryInterface):
     # LIA side
     # ------------------------------------------------------------------
 
+    def _parse_lit(self, lit: int):
+        """LIA fact for a signed literal, memoized forever: the atom map
+        is append-only, so a signed lit always parses the same way.
+        Returns ``(kind, coeffs, const, key_terms)`` or None; the caller
+        must not mutate the returned dicts."""
+        memo = self._parse_memo
+        if lit in memo:
+            return memo[lit]
+        atom = self.cnf.var_to_atom.get(abs(lit))
+        result = None
+        if atom is not None:
+            op = atom.op
+            if op is Op.EQ and atom.args[0].sort is Sort.INT:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                result = ("eq" if lit > 0 else "ne", coeffs, const, kt)
+            elif op is Op.LE:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                if lit > 0:
+                    result = ("le", coeffs, const, kt)
+                else:
+                    neg = {k: -v for k, v in coeffs.items()}
+                    result = ("le", neg, -const + 1, kt)
+            elif op is Op.LT:
+                coeffs, const, kt = _lin_diff(atom.args[0], atom.args[1])
+                if lit > 0:
+                    result = ("le", coeffs, const + 1, kt)
+                else:
+                    neg = {k: -v for k, v in coeffs.items()}
+                    result = ("le", neg, -const, kt)
+        memo[lit] = result
+        return result
+
+    def _assert_to_lia(self, lit: int) -> list[int] | None:
+        parsed = self._parse_lit(lit)
+        if parsed is None:
+            return None
+        kind, coeffs, const, kt = parsed
+        if kt:
+            added = self._key_added[-1]
+            key_count = self._key_count
+            for tid, term in kt.items():
+                key_count[tid] = key_count.get(tid, 0) + 1
+                added.append(tid)
+                self._key_terms[tid] = term
+        conflict = self.lia.push(kind, coeffs, const,
+                                 frozenset({("lit", lit)}))
+        if conflict is None:
+            return None
+        return self._premises_to_clause(conflict)
+
     def _collect_lia(self):
-        # cache per trail prefix: the lits list only grows between undos
+        # cache per trail prefix: undo_to invalidates, so a matching
+        # length means the prefix is unchanged since the cache was set
         cached = getattr(self, "_collect_cache", None)
-        if cached is not None and cached[0] == len(self._lits) and \
-                not self._dirty:
+        if cached is not None and cached[0] == len(self._lits):
             return cached[1]
         result = self._collect_lia_raw()
         self._collect_cache = (len(self._lits), result)
@@ -418,8 +575,10 @@ class TheoryCore(TheoryInterface):
 
     def _interface_tids_cached(self) -> set[int]:
         """Uncapped interface-term ids, recomputed only when the EUF term
-        universe grows (terms are only ever added between rebuilds)."""
-        n = len(self.euf._terms)
+        universe changes.  Keyed on the EUF *generation* counter — a bare
+        term count would go stale once undo can shrink and re-grow the
+        universe to the same size with different terms."""
+        n = self.euf.generation
         cached = getattr(self, "_iface_cache", None)
         if cached is not None and cached[0] is self.euf and cached[1] == n:
             return cached[2]
@@ -441,6 +600,30 @@ class TheoryCore(TheoryInterface):
                     continue
                 coeffs, const, _ = _lin_diff(x, y)
                 prem = self.lia.entails_eq(eqs, ineqs, coeffs, const)
+                if prem is None:
+                    continue
+                atom = self.factory.eq(x, y)
+                if atom is self.factory.true:
+                    continue
+                eq_lit = self.cnf.atom_var(atom)
+                clause = self._premises_to_clause(prem)
+                clause.append(eq_lit)
+                lemmas.append(clause)
+        return lemmas
+
+    def _interface_lemmas(self, ctx) -> list[list[int]]:
+        """Incremental-path variant of interface-equality propagation:
+        the composed LIA context is built once and probed per pair."""
+        key_terms = {tid: self._key_terms[tid] for tid in self._key_count}
+        interface = self._interface_terms(key_terms)
+        lemmas: list[list[int]] = []
+        for i in range(len(interface)):
+            for j in range(i + 1, len(interface)):
+                x, y = interface[i], interface[j]
+                if self.euf.are_equal(x, y):
+                    continue
+                coeffs, const, _ = _lin_diff(x, y)
+                prem = ctx.entails_eq(coeffs, const)
                 if prem is None:
                     continue
                 atom = self.factory.eq(x, y)

@@ -180,8 +180,9 @@ class DrupChecker:
         """Remove one copy of a clause (tag ``d``).
 
         Root-level units already propagated from the clause are *not*
-        retracted (the usual DRUP-checker behaviour); our solver never
-        emits deletions, so this exists for the file format and tests.
+        retracted (the usual DRUP-checker behaviour).  The solver's
+        learnt-clause database reduction emits one ``d`` step per dropped
+        clause, so every ``Solver(validate=True)`` replay exercises this.
         """
         key = self._key(lits)
         ids = self._by_key.get(key)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Sequence
 
+from ..tuning import TUNING
 from .cnf import normalize_clause, var_of
 
 
@@ -59,6 +60,8 @@ class ProofLog:
       so the checker admits it as a trusted axiom;
     - ``"a"``: a learnt clause, which must be RUP with respect to every
       clause recorded before it;
+    - ``"d"``: deletion of one clause copy (emitted by the learnt-clause
+      database reduction) — later RUP checks may no longer use it;
     - ``"f"``: the terminal clause of one UNSAT answer — the empty clause
       for an unconditional conflict, or the negated unsat core for an
       assumption-based refutation.  Final clauses are checked but not kept.
@@ -82,8 +85,20 @@ class ProofLog:
     def derive(self, cl: Sequence[int]) -> None:
         self.steps.append(("a", tuple(cl)))
 
+    def delete(self, cl: Sequence[int]) -> None:
+        self.steps.append(("d", tuple(cl)))
+
     def final(self, cl: Sequence[int]) -> None:
         self.steps.append(("f", tuple(cl)))
+
+
+class _Learnt(list):
+    """A learnt clause: a plain literal list plus its LBD score (the
+    number of distinct decision levels among its literals at learn time).
+    Propagation treats it exactly like any other clause; only the
+    database-reduction policy looks at ``lbd``."""
+
+    __slots__ = ("lbd",)
 
 
 class _Unassigned:
@@ -130,6 +145,11 @@ class SatSolver:
         self._qhead = 0
         self._th_head = 0
         self._clauses: list[list[int]] = []
+        self._learnts: list[_Learnt] = []
+        self._reduce_learnts = TUNING.reduce_learnts
+        self._reduce_interval = 128
+        self._next_reduce = 128
+        self.reduced_clauses = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._order: list[tuple[float, int]] = []
@@ -161,6 +181,7 @@ class SatSolver:
             "propagations": self.propagations,
             "learned": self.learned,
             "restarts": self.restarts,
+            "reduced_clauses": self.reduced_clauses,
         }
 
     # ------------------------------------------------------------------
@@ -230,8 +251,11 @@ class SatSolver:
         self._attach(out)
         return True
 
-    def _attach(self, cl: list[int]) -> None:
-        self._clauses.append(cl)
+    def _attach(self, cl: list[int], learnt_db: bool = False) -> None:
+        if learnt_db:
+            self._learnts.append(cl)
+        else:
+            self._clauses.append(cl)
         self._watches[self._enc(-cl[0])].append(cl)
         self._watches[self._enc(-cl[1])].append(cl)
 
@@ -266,6 +290,8 @@ class SatSolver:
             self._assign[v] = UNASSIGNED
             self._reason[v] = None
             heapq.heappush(self._order, (-self._activity[v], v))
+        if len(self._order) > 2 * self.nvars + 16:
+            self._compact_order()
         del self.trail[bound:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self.trail))
@@ -336,6 +362,25 @@ class SatSolver:
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
         heapq.heappush(self._order, (-self._activity[v], v))
+        if len(self._order) > 2 * self.nvars + 16:
+            self._compact_order()
+
+    def _compact_order(self) -> None:
+        """Rebuild the decision heap from scratch.
+
+        ``_order`` uses lazy insertion: every bump and every unassignment
+        pushes a fresh ``(-activity, v)`` pair, and stale pairs are only
+        discarded when popped.  A restart-heavy run can therefore grow the
+        heap far past the variable count; once stale entries dominate
+        (heap larger than twice the live variables) a rebuild is cheaper
+        than carrying them.  The rebuild must include *every* unassigned
+        variable, else :meth:`_pick_branch_var` could miss one and the
+        search would stop on a partial assignment.
+        """
+        self._order = [(-self._activity[v], v)
+                       for v in range(1, self.nvars + 1)
+                       if self._assign[v] is UNASSIGNED]
+        heapq.heapify(self._order)
 
     def _analyze(self, confl: list[int]) -> tuple[list[int], int]:
         """First-UIP analysis.  Returns (learnt clause, backjump level); the
@@ -416,6 +461,52 @@ class SatSolver:
             if not self._redundant(q, depth + 1):
                 return False
         return True
+
+    def _learn(self, learnt: list[int]) -> _Learnt:
+        """Wrap a fresh learnt clause with its LBD score.
+
+        Must run *before* the backjump: the LBD is the number of distinct
+        (non-root) decision levels among the literals, and the levels are
+        only meaningful while the conflicting assignment is still on the
+        trail.
+        """
+        cl = _Learnt(learnt)
+        levels = {self._level[var_of(l)] for l in learnt}
+        levels.discard(0)
+        cl.lbd = max(1, len(levels))
+        return cl
+
+    # ------------------------------------------------------------------
+    # learnt-clause database reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the deletable learnt clauses.
+
+        Glue clauses (LBD <= 2), binary clauses, and *locked* clauses
+        (ones currently acting as the reason for a trail assignment) are
+        always kept; the rest are ranked by (LBD, length) and the worse
+        half is detached from both watchlists, each deletion mirrored as
+        a ``d`` step in the proof log so RUP replay stays exact.
+        """
+        keep: list[_Learnt] = []
+        deletable: list[_Learnt] = []
+        for cl in self._learnts:
+            if cl.lbd <= 2 or len(cl) <= 2 or any(
+                    self._reason[var_of(l)] is cl for l in cl):
+                keep.append(cl)
+            else:
+                deletable.append(cl)
+        deletable.sort(key=lambda c: (c.lbd, len(c)))
+        half = len(deletable) // 2
+        keep.extend(deletable[:half])
+        for cl in deletable[half:]:
+            self._watches[self._enc(-cl[0])].remove(cl)
+            self._watches[self._enc(-cl[1])].remove(cl)
+            if self.proof is not None:
+                self.proof.delete(cl)
+            self.reduced_clauses += 1
+        self._learnts = keep
 
     def _analyze_final(self, a: int) -> list[int]:
         """Given an assumption literal ``a`` that is currently false, compute
@@ -580,6 +671,8 @@ class SatSolver:
                 self.learned += 1
                 if self.proof is not None:
                     self.proof.derive(learnt)
+                if len(learnt) >= 2:
+                    learnt = self._learn(learnt)
                 # Never backjump into the middle of re-deciding assumptions
                 # incorrectly: bt may land inside the assumption prefix; the
                 # decide loop below re-establishes assumptions as needed.
@@ -592,11 +685,17 @@ class SatSolver:
                             self.proof.final(())
                         return False
                 else:
-                    self._attach(learnt)
+                    self._attach(learnt, learnt_db=True)
                     self._enqueue(learnt[0], learnt)
                 self._var_inc /= self._var_decay
                 continue
-            # No boolean/theory conflict at this fixpoint.
+            # No boolean/theory conflict at this fixpoint: a safe spot to
+            # shed inactive learnt clauses (growing conflict intervals).
+            if self._reduce_learnts and self.conflicts >= self._next_reduce:
+                self._reduce_interval += 64
+                self._next_reduce = self.conflicts + self._reduce_interval
+                if len(self._learnts) > 32:
+                    self._reduce_db()
             if conflict_budget_used >= conflicts_until_restart:
                 conflict_budget_used = 0
                 restart_count += 1
@@ -648,6 +747,8 @@ class SatSolver:
                                 self.learned += 1
                                 if self.proof is not None:
                                     self.proof.derive(learnt)
+                                if len(learnt) >= 2:
+                                    learnt = self._learn(learnt)
                                 self._backjump(bt)
                                 if len(learnt) == 1:
                                     if not self._enqueue(learnt[0], None):
@@ -657,7 +758,7 @@ class SatSolver:
                                             self.proof.final(())
                                         return False
                                 else:
-                                    self._attach(learnt)
+                                    self._attach(learnt, learnt_db=True)
                                     self._enqueue(learnt[0], learnt)
                             continue
                     return True

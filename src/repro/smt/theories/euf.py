@@ -5,10 +5,18 @@ signature table driving congruence propagation, and a *proof forest* for
 generating explanations (minimal-ish sets of asserted premises implying a
 derived equality).
 
-The solver is assert-only: there is no internal backtracking.  The owning
-:class:`~repro.smt.dpllt.TheoryCore` rebuilds it from the surviving prefix
-of facts after a SAT backjump, which is simple, obviously correct, and fast
-enough at the procedure sizes this project analyzes.
+Backtracking is an explicit undo trail: every mutation of the union-find,
+signature table, use lists, disequality map, constant map, and proof
+forest is logged as an op-coded entry, and :meth:`EufSolver.undo_to`
+replays the log in reverse, so a pop costs O(changes undone) rather than
+O(trail) (the pre-PR-4 design rebuilt the whole closure from the
+surviving fact prefix).  ``_find`` deliberately does *not* path-compress:
+union-by-rank alone bounds find depth logarithmically, and compression
+writes would each need a log entry on the hottest path.  A conflicting
+assertion self-heals — the solver state after a rejected ``assert_*`` is
+exactly the state before it — so the owning
+:class:`~repro.smt.dpllt.TheoryCore` can keep per-literal watermarks into
+the undo trail.
 
 Premise tokens are opaque hashables supplied by the caller (the DPLL(T)
 layer uses ``('lit', sat_literal)``); explanations are sets of tokens.
@@ -32,6 +40,9 @@ class EufConflict(Exception):
         self.premises = premises
 
 
+_MISS = object()
+
+
 class EufSolver:
     def __init__(self) -> None:
         self.reset()
@@ -51,6 +62,82 @@ class EufSolver:
         # per-root: (int value, witness tid)
         self._constval: dict[int, tuple[int, int]] = {}
         self._pending: list[tuple[int, int, object]] = []
+        # op-coded undo log; see undo_to for the replay semantics
+        self._undo: list[tuple] = []
+        # bumped whenever the term universe changes (adds *or* undos), so
+        # callers can key caches on it
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # undo trail
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Current undo-trail position; pass to :meth:`undo_to` later."""
+        return len(self._undo)
+
+    def undo_to(self, mark: int) -> None:
+        """Replay the undo log backwards to ``mark``, restoring the exact
+        solver state at the time :meth:`mark` returned it.
+
+        Pending congruence merges are discarded: at every public-call
+        boundary the pending queue is empty, and entries left by a
+        conflicting call reference work above the restore point.
+        """
+        self._pending.clear()
+        undo = self._undo
+        if len(undo) <= mark:
+            return
+        while len(undo) > mark:
+            op = undo.pop()
+            tag = op[0]
+            if tag == "parent":
+                self._parent[op[1]] = op[2]
+            elif tag == "sig":
+                if op[2] is _MISS:
+                    self._sig.pop(op[1], None)
+                else:
+                    self._sig[op[1]] = op[2]
+            elif tag == "cursig":
+                if op[2] is _MISS:
+                    self._cursig.pop(op[1], None)
+                else:
+                    self._cursig[op[1]] = op[2]
+            elif tag == "pf":
+                if op[2] is _MISS:
+                    self._pf.pop(op[1], None)
+                else:
+                    self._pf[op[1]] = op[2]
+            elif tag == "rank":
+                self._rank[op[1]] = op[2]
+            elif tag == "uses_pop":
+                self._uses[op[1]].pop()
+            elif tag == "uses_trunc":
+                del self._uses[op[1]][op[2]:]
+            elif tag == "uses_set":
+                self._uses[op[1]] = op[2]
+            elif tag == "diseq":
+                if op[3] is _MISS:
+                    self._diseqs[op[1]].pop(op[2], None)
+                else:
+                    self._diseqs[op[1]][op[2]] = op[3]
+            elif tag == "diseq_map":
+                self._diseqs[op[1]] = op[2]
+            elif tag == "constval":
+                if op[2] is _MISS:
+                    self._constval.pop(op[1], None)
+                else:
+                    self._constval[op[1]] = op[2]
+            else:  # "term": retract a registration entirely
+                tid = op[1]
+                del self._terms[tid]
+                del self._parent[tid]
+                del self._rank[tid]
+                del self._uses[tid]
+                del self._diseqs[tid]
+                self._cursig.pop(tid, None)
+                self._constval.pop(tid, None)
+        self.generation += 1
 
     # ------------------------------------------------------------------
     # term registration
@@ -62,6 +149,8 @@ class EufSolver:
         for a in t.args:
             self.add_term(a)
         tid = t.tid
+        self._undo.append(("term", tid))
+        self.generation += 1
         self._terms[tid] = t
         self._parent[tid] = tid
         self._rank[tid] = 0
@@ -76,9 +165,12 @@ class EufSolver:
             if other is not None and other != tid:
                 self._pending.append((tid, other, ("cong", tid, other)))
             else:
+                self._undo.append(("sig", sig, _MISS))
                 self._sig[sig] = tid
             for a in t.args:
-                self._uses[self._find(a.tid)].append(tid)
+                root = self._find(a.tid)
+                self._undo.append(("uses_pop", root))
+                self._uses[root].append(tid)
 
     def _signature(self, t: Term) -> tuple:
         return (t.op, t.payload, tuple(self._find(a.tid) for a in t.args))
@@ -88,12 +180,15 @@ class EufSolver:
     # ------------------------------------------------------------------
 
     def _find(self, tid: int) -> int:
-        root = tid
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[tid] != root:  # path compression
-            self._parent[tid], tid = root, self._parent[tid]
-        return root
+        # No path compression: compression writes would each need an undo
+        # entry; union-by-rank alone keeps the chains logarithmic.
+        parent = self._parent
+        root = parent[tid]
+        while True:
+            up = parent[root]
+            if up == root:
+                return root
+            root = up
 
     def are_equal(self, a: Term, b: Term) -> bool:
         if a.tid not in self._terms or b.tid not in self._terms:
@@ -113,29 +208,52 @@ class EufSolver:
     # ------------------------------------------------------------------
 
     def assert_eq(self, a: Term, b: Term, reason: object) -> set | None:
-        """Merge ``a`` and ``b``.  Returns a conflict premise set or None."""
-        self.add_term(a)
-        self.add_term(b)
-        self._pending.append((a.tid, b.tid, reason))
+        """Merge ``a`` and ``b``.  Returns a conflict premise set or None.
+
+        On conflict the assertion self-heals: the solver state (including
+        any term registrations this call performed) is rolled back to the
+        state at entry."""
+        entry = self.mark()
         try:
+            self.add_term(a)
+            self.add_term(b)
+            self._pending.append((a.tid, b.tid, reason))
             self._process()
         except EufConflict as c:
+            self.undo_to(entry)
             return c.premises
         return None
 
     def assert_diseq(self, a: Term, b: Term, reason: object) -> set | None:
-        self.add_term(a)
-        self.add_term(b)
+        entry = self.mark()
         try:
+            self.add_term(a)
+            self.add_term(b)
             self._process()  # flush congruences from add_term
             ra, rb = self._find(a.tid), self._find(b.tid)
             if ra == rb:
                 prem = self.explain(a, b)
                 prem.add(reason)
+                self.undo_to(entry)
                 return prem
+            self._undo.append(("diseq", ra, rb, self._diseqs[ra].get(rb, _MISS)))
+            self._undo.append(("diseq", rb, ra, self._diseqs[rb].get(ra, _MISS)))
             self._diseqs[ra][rb] = (a.tid, b.tid, reason)
             self._diseqs[rb][ra] = (a.tid, b.tid, reason)
         except EufConflict as c:
+            self.undo_to(entry)
+            return c.premises
+        return None
+
+    def register_terms(self, terms) -> set | None:
+        """Register terms (congruence may fire); self-heals on conflict."""
+        entry = self.mark()
+        try:
+            for t in terms:
+                self.add_term(t)
+            self._process()
+        except EufConflict as c:
+            self.undo_to(entry)
             return c.premises
         return None
 
@@ -144,6 +262,7 @@ class EufSolver:
     # ------------------------------------------------------------------
 
     def _process(self) -> None:
+        undo = self._undo
         while self._pending:
             ta, tb, reason = self._pending.pop()
             ra, rb = self._find(ta), self._find(tb)
@@ -151,12 +270,15 @@ class EufSolver:
                 continue
             # proof forest edge between the *terms*, not the roots
             self._pf_reroot(ta)
+            undo.append(("pf", ta, self._pf.get(ta, _MISS)))
             self._pf[ta] = (tb, reason)
             # union by rank: fold the smaller class into the larger
             if self._rank[ra] > self._rank[rb]:
                 ra, rb = rb, ra  # ra is the loser
             elif self._rank[ra] == self._rank[rb]:
+                undo.append(("rank", rb, self._rank[rb]))
                 self._rank[rb] += 1
+            undo.append(("parent", ra, ra))
             self._parent[ra] = rb
             # constant-value clash?
             ca, cb = self._constval.get(ra), self._constval.get(rb)
@@ -164,32 +286,47 @@ class EufSolver:
                 prem = self.explain(self._terms[ca[1]], self._terms[cb[1]])
                 raise EufConflict(prem)
             if ca is not None and cb is None:
+                undo.append(("constval", rb, _MISS))
                 self._constval[rb] = ca
             # disequality violation?
-            for other, (xa, xb, dreason) in list(self._diseqs[ra].items()):
+            ra_diseqs = self._diseqs[ra]
+            for other, (xa, xb, dreason) in list(ra_diseqs.items()):
                 other_now = self._find(other)
                 if other_now == rb:
                     prem = self.explain(self._terms[xa], self._terms[xb])
                     prem.add(dreason)
                     raise EufConflict(prem)
+                undo.append(("diseq", rb, other_now,
+                             self._diseqs[rb].get(other_now, _MISS)))
                 self._diseqs[rb][other_now] = (xa, xb, dreason)
+                undo.append(("diseq", other_now, rb,
+                             self._diseqs[other_now].get(rb, _MISS)))
                 self._diseqs[other_now][rb] = (xa, xb, dreason)
-                self._diseqs[other_now].pop(ra, None)
-            self._diseqs[ra].clear()
+                old = self._diseqs[other_now].pop(ra, None)
+                if old is not None:
+                    undo.append(("diseq", other_now, ra, old))
+            if ra_diseqs:
+                undo.append(("diseq_map", ra, ra_diseqs))
+                self._diseqs[ra] = {}
             # recompute signatures of the loser's parents
             moved = self._uses[ra]
+            undo.append(("uses_set", ra, moved))
             self._uses[ra] = []
             for u in moved:
                 oldsig = self._cursig.get(u)
                 if oldsig is not None and self._sig.get(oldsig) == u:
+                    undo.append(("sig", oldsig, u))
                     del self._sig[oldsig]
                 newsig = self._signature(self._terms[u])
+                undo.append(("cursig", u, oldsig if oldsig is not None else _MISS))
                 self._cursig[u] = newsig
                 other = self._sig.get(newsig)
                 if other is not None and other != u:
                     self._pending.append((u, other, ("cong", u, other)))
                 else:
+                    undo.append(("sig", newsig, self._sig.get(newsig, _MISS)))
                     self._sig[newsig] = u
+            undo.append(("uses_trunc", rb, len(self._uses[rb])))
             self._uses[rb].extend(moved)
 
     # ------------------------------------------------------------------
@@ -204,9 +341,12 @@ class EufSolver:
             parent, reason = self._pf[x]
             path.append((x, parent, reason))
             x = parent
-        for child, _, _ in path:
+        undo = self._undo
+        for child, _, reason in path:
+            undo.append(("pf", child, self._pf[child]))
             del self._pf[child]
         for child, parent, reason in path:
+            undo.append(("pf", parent, self._pf.get(parent, _MISS)))
             self._pf[parent] = (child, reason)
 
     def explain(self, a: Term, b: Term) -> set:

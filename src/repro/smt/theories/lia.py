@@ -20,6 +20,17 @@ exactly; the gcd/floor tightenings give integer reasoning sufficient for
 the unit-coefficient constraints our VC generator emits.  Work is bounded
 by a constraint budget; exceeding it raises :class:`LiaBudgetExceeded`,
 which the analysis layer reports as a timeout (the paper's TO column).
+
+Besides the stateless :meth:`LiaSolver.check` there is a *trail* API used
+by the incremental DPLL(T) layer: facts are :meth:`LiaSolver.push`-ed as
+the SAT trail grows and :meth:`LiaSolver.pop_to`-ped on backjumps.  Each
+equation is Gaussian-eliminated *once*, at push time, against the
+substitution chain built so far; inequalities are substituted and
+tightened once and kept in reduced form; single-variable rows feed a
+bound store so ``x <= 2, x >= 3``-style conflicts surface at push time,
+before any Fourier–Motzkin elimination.  A check then only has to
+presolve the (usually empty) non-trail side equations on top of the
+already-reduced rows — see :meth:`LiaSolver.context`.
 """
 
 from __future__ import annotations
@@ -108,13 +119,244 @@ class _Presolved:
         return (coeffs, const, prem)
 
 
+class _TrailContext:
+    """A composed feasibility view: the solver's trail state with side
+    equations (the EUF-derived ones, not trail-aligned) presolved on top.
+
+    Built once per theory check so the quadratic interface-equality sweep
+    pays the substitution/presolve cost once instead of per probe."""
+
+    __slots__ = ("lia", "pre", "rows", "conflict")
+
+    def __init__(self, lia: "LiaSolver", pre, rows, conflict):
+        self.lia = lia
+        self.pre = pre
+        self.rows = rows
+        self.conflict = conflict
+
+    def _apply(self, constraint):
+        c = self.lia._apply_subs(
+            (dict(constraint[0]), constraint[1], frozenset(constraint[2])))
+        if self.pre is not None:
+            c = self.pre.apply(c)
+        return c
+
+    def feasible(self) -> set | None:
+        """Conflict premise set, or None if the context is feasible
+        (disequalities NOT included — see :meth:`diseq_conflict`)."""
+        if self.conflict is not None:
+            return set(self.conflict)
+        core = self.lia._fm(self.rows)
+        return set(core) if core is not None else None
+
+    def entails_eq(self, coeffs: LinForm, const: Fraction) -> set | None:
+        """Premises entailing ``sum coeffs + const = 0``, or None."""
+        if self.conflict is not None:
+            return set(self.conflict)
+        lo = self._apply((coeffs, const + 1, frozenset()))
+        hi = self._apply((lin_scale(coeffs, Fraction(-1)), -const + 1,
+                          frozenset()))
+        core_lo = self.lia._fm_with(self.rows, lo)
+        if core_lo is None:
+            return None
+        core_hi = self.lia._fm_with(self.rows, hi)
+        if core_hi is None:
+            return None
+        return set(core_lo) | set(core_hi)
+
+    def diseq_conflict(self) -> set | None:
+        """First trail disequality refuted on both sides, as a conflict."""
+        for dcoeffs, dconst, dprem in self.lia._dis:
+            lo = self._apply((dcoeffs, dconst + 1, frozenset()))
+            hi = self._apply((lin_scale(dcoeffs, Fraction(-1)),
+                              -dconst + 1, frozenset()))
+            core_lo = self.lia._fm_with(self.rows, lo)
+            if core_lo is None:
+                continue
+            core_hi = self.lia._fm_with(self.rows, hi)
+            if core_hi is None:
+                continue
+            return set(core_lo) | set(core_hi) | set(dprem)
+        return None
+
+
 class LiaSolver:
-    """Stateless checker with memoization across calls."""
+    """Stateless checker with memoization across calls, plus a trail API
+    (push/pop_to/context) for the incremental DPLL(T) path."""
 
     def __init__(self, budget: int = 20000):
         self.budget = budget
         self._memo: dict = {}
         self._presolve_memo: dict = {}
+        # --- trail state (incremental path) ---------------------------
+        self.incremental_hits = 0
+        self._trail: list[tuple] = []     # (kind, coeffs, const, prem)
+        self._snaps: list[list] = []      # per-push restore records
+        self._subs: list[tuple] = []      # substitution chain
+        self._rows: tuple = ()            # reduced+tightened inequalities
+        self._dis: list[tuple] = []       # trail disequalities
+        self._bounds: dict = {}           # key -> (lo, lop, hi, hip)
+        self._conflict: frozenset | None = None
+
+    # ------------------------------------------------------------------
+    # trail API
+    # ------------------------------------------------------------------
+
+    def trail_mark(self) -> int:
+        return len(self._trail)
+
+    def pop_to(self, n: int) -> None:
+        while len(self._trail) > n:
+            self._trail.pop()
+            subs_len, rows, dis_len, conflict, bound_undo = self._snaps.pop()
+            for k, old in reversed(bound_undo):
+                if old is None:
+                    self._bounds.pop(k, None)
+                else:
+                    self._bounds[k] = old
+            del self._subs[subs_len:]
+            self._rows = rows
+            del self._dis[dis_len:]
+            self._conflict = conflict
+
+    def push(self, kind: str, coeffs: LinForm, const: Fraction,
+             prem: frozenset) -> set | None:
+        """Assert one fact (kind ``"eq"``, ``"le"`` or ``"ne"``); returns
+        a conflict premise set or None.  A conflicting fact stays on the
+        trail (carrying the conflict) until popped."""
+        snap = [len(self._subs), self._rows, len(self._dis),
+                self._conflict, []]
+        self._snaps.append(snap)
+        self._trail.append((kind, coeffs, const, prem))
+        if self._conflict is not None:
+            return set(self._conflict)
+        prem = frozenset(prem)
+        if kind == "ne":
+            self._dis.append((dict(coeffs), const, prem))
+            return None
+        coeffs, const, prem = self._apply_subs((dict(coeffs), const, prem))
+        if kind == "eq":
+            return self._push_eq(coeffs, const, prem)
+        return self._push_ineq(coeffs, const, prem, snap)
+
+    def context(self, extra_eqs=()) -> _TrailContext:
+        """Feasibility context over the trail plus side equations."""
+        self.incremental_hits += 1
+        if self._conflict is not None:
+            return _TrailContext(self, None, None, self._conflict)
+        if extra_eqs:
+            applied = [self._apply_subs((dict(c), k, frozenset(p)))
+                       for c, k, p in extra_eqs]
+            pre = self._presolve(applied, self._rows)
+            if pre.conflict is not None:
+                return _TrailContext(self, None, None,
+                                     frozenset(pre.conflict))
+            return _TrailContext(self, pre, pre.reduced, None)
+        return _TrailContext(self, None, self._rows, None)
+
+    # ------------------------------------------------------------------
+
+    def _apply_subs(self, constraint):
+        coeffs, const, prem = constraint
+        for var, sub_coeffs, sub_const, sub_prem in self._subs:
+            c = coeffs.get(var)
+            if not c:
+                continue
+            del coeffs[var]
+            coeffs = lin_add(coeffs, lin_scale(sub_coeffs, c))
+            const = const + c * sub_const
+            prem = prem | sub_prem
+        return coeffs, const, prem
+
+    def _fail(self, prem) -> set:
+        self._conflict = frozenset(prem)
+        return set(prem)
+
+    def _push_eq(self, coeffs, const, prem) -> set | None:
+        if not coeffs:
+            return self._fail(prem) if const != 0 else None
+        denom = 1
+        for v in list(coeffs.values()) + [const]:
+            denom = denom * v.denominator // gcd(denom, v.denominator)
+        int_coeffs = {k: int(v * denom) for k, v in coeffs.items()}
+        int_const = int(const * denom)
+        g = 0
+        for v in int_coeffs.values():
+            g = gcd(g, abs(v))
+        if g and int_const % g != 0:
+            return self._fail(prem)
+        var = self._lossless_pivot(int_coeffs, int_const)
+        if var is None:
+            var = next(iter(coeffs))
+        cv = coeffs[var]
+        rest = {k: v for k, v in coeffs.items() if k != var}
+        sub_coeffs = lin_scale(rest, Fraction(-1) / cv)
+        sub_const = -const / cv
+        if not rest:
+            # the equation fixes var: check against the known bounds
+            lo, lop, hi, hip = self._bounds.get(var, (None,) * 4)
+            if lo is not None and sub_const < lo:
+                return self._fail(prem | lop)
+            if hi is not None and sub_const > hi:
+                return self._fail(prem | hip)
+        self._subs.append((var, sub_coeffs, sub_const, prem))
+        rows = []
+        for rc, rk, rp in self._rows:
+            c = rc.get(var)
+            if not c:
+                rows.append((rc, rk, rp))
+                continue
+            nc = dict(rc)
+            del nc[var]
+            nc = lin_add(nc, lin_scale(sub_coeffs, c))
+            nk = rk + c * sub_const
+            nc, nk = _tighten(nc, nk)
+            np_ = rp | prem
+            if not nc:
+                if nk > 0:
+                    self._rows = tuple(rows)
+                    return self._fail(np_)
+                continue
+            rows.append((nc, nk, np_))
+        self._rows = tuple(rows)
+        return None
+
+    def _push_ineq(self, coeffs, const, prem, snap) -> set | None:
+        coeffs, const = _tighten(coeffs, const)
+        if not coeffs:
+            return self._fail(prem) if const > 0 else None
+        if len(coeffs) == 1:
+            # after tightening the single coefficient is +-1, so the row
+            # is a unit bound; conflicts surface here, pre-elimination
+            ((k, a),) = coeffs.items()
+            lo, lop, hi, hip = self._bounds.get(k, (None,) * 4)
+            snap[4].append((k, self._bounds.get(k)))
+            if a > 0:
+                cand = -const
+                if hi is None or cand < hi:
+                    hi, hip = cand, prem
+            else:
+                cand = const
+                if lo is None or cand > lo:
+                    lo, lop = cand, prem
+            self._bounds[k] = (lo, lop, hi, hip)
+            if lo is not None and hi is not None and lo > hi:
+                self._rows = self._rows + ((coeffs, const, prem),)
+                return self._fail(lop | hip)
+        self._rows = self._rows + ((coeffs, const, prem),)
+        return None
+
+    @staticmethod
+    def _lossless_pivot(int_coeffs: dict, int_const: int):
+        """Smallest pivot whose coefficient divides every other
+        coefficient and the constant (integer-lossless elimination);
+        None if there is no such pivot."""
+        for k in sorted(int_coeffs, key=lambda k: (abs(int_coeffs[k]), k)):
+            a = abs(int_coeffs[k])
+            if all(c % a == 0 for c in int_coeffs.values()) and \
+                    int_const % a == 0:
+                return k
+        return None
 
     # ------------------------------------------------------------------
 
@@ -218,14 +460,7 @@ class LiaSolver:
             # divides every other coefficient and the constant is
             # integer-lossless (the pivot's value is an integer for any
             # integer assignment of the rest); prefer the smallest such.
-            var = None
-            for k in sorted(int_coeffs,
-                            key=lambda k: (abs(int_coeffs[k]), k)):
-                a = abs(int_coeffs[k])
-                if all(c % a == 0 for c in int_coeffs.values()) and \
-                        int_const % a == 0:
-                    var = k
-                    break
+            var = self._lossless_pivot(int_coeffs, int_const)
             if var is None:
                 # no lossless pivot (e.g. 2x + 3y + 1 = 0): fall back to
                 # the rational-complete elimination, as before

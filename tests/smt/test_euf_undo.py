@@ -1,0 +1,159 @@
+"""The congruence-closure undo trail: popping to a mark must restore the
+observable state exactly (equality relation, conflicts, explanations),
+matching a fresh solver that only ever saw the surviving prefix."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.smt.terms import TermFactory
+from repro.smt.theories.euf import EufSolver
+
+
+@pytest.fixture()
+def f():
+    return TermFactory()
+
+
+def lit(i):
+    return ("lit", i)
+
+
+def make_universe(f):
+    """A small term universe with shared subterms so congruence fires."""
+    xs = [f.int_var(n) for n in "wxyz"]
+    apps = [f.apply("g", [t]) for t in xs]
+    apps += [f.apply("h", [xs[0], t]) for t in xs[2:]]
+    return xs + apps
+
+
+def eq_matrix(e: EufSolver, terms) -> list:
+    return [e.are_equal(a, b) for a in terms for b in terms]
+
+
+def random_ops(rng: random.Random, terms, n: int):
+    ops = []
+    for i in range(n):
+        a, b = rng.sample(terms, 2)
+        kind = "diseq" if rng.random() < 0.3 else "eq"
+        ops.append((kind, a, b, lit(i)))
+    return ops
+
+
+def apply_ops(e: EufSolver, terms, ops):
+    """Replay ops, skipping (like DPLL(T) would) any op that conflicts."""
+    for t in terms:
+        e.add_term(t)
+    applied = []
+    for kind, a, b, prem in ops:
+        if kind == "eq":
+            conflict = e.assert_eq(a, b, prem)
+        else:
+            conflict = e.assert_diseq(a, b, prem)
+        if conflict is None:
+            applied.append((kind, a, b, prem))
+    return applied
+
+
+class TestUndoMatchesFreshRebuild:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pop_to_mark_restores_equality_relation(self, f, seed):
+        rng = random.Random(seed)
+        terms = make_universe(f)
+        ops = random_ops(rng, terms, 14)
+        cut = rng.randint(0, 7)
+
+        e = EufSolver()
+        prefix_applied = apply_ops(e, terms, ops[:cut])
+        mark = e.mark()
+        before = eq_matrix(e, terms)
+        apply_ops(e, terms, ops[cut:])
+        e.undo_to(mark)
+        assert eq_matrix(e, terms) == before
+
+        fresh = EufSolver()
+        for t in terms:
+            fresh.add_term(t)
+        for kind, a, b, prem in prefix_applied:
+            if kind == "eq":
+                assert fresh.assert_eq(a, b, prem) is None
+            else:
+                assert fresh.assert_diseq(a, b, prem) is None
+        assert eq_matrix(e, terms) == eq_matrix(fresh, terms)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_nested_marks_pop_in_any_prefix_order(self, f, seed):
+        rng = random.Random(100 + seed)
+        terms = make_universe(f)
+        ops = random_ops(rng, terms, 15)
+        e = EufSolver()
+        for t in terms:
+            e.add_term(t)
+        snapshots = []  # (mark, matrix) at every level
+        for kind, a, b, prem in ops:
+            snapshots.append((e.mark(), eq_matrix(e, terms)))
+            if kind == "eq":
+                e.assert_eq(a, b, prem)
+            else:
+                e.assert_diseq(a, b, prem)
+        # pop back to a random interior level, then all the way down
+        level = rng.randint(0, len(snapshots) - 1)
+        for target in (level, 0):
+            mark, matrix = snapshots[target]
+            e.undo_to(mark)
+            assert eq_matrix(e, terms) == matrix
+
+
+class TestConflictSelfHeal:
+    def test_rejected_assert_leaves_state_untouched(self, f):
+        e = EufSolver()
+        x, y, z = f.int_var("x"), f.int_var("y"), f.int_var("z")
+        gx, gy = f.apply("g", [x]), f.apply("g", [y])
+        for t in (gx, gy, z):
+            e.add_term(t)
+        assert e.assert_diseq(gx, gy, lit(1)) is None
+        assert e.assert_eq(gy, z, lit(2)) is None
+        before = eq_matrix(e, [x, y, z, gx, gy])
+        gen = e.generation
+        # this merge would congruence-propagate g(x)=g(y): conflict, and
+        # the aborted merge (including half-done congruence work) must be
+        # rolled back to the entry mark
+        conflict = e.assert_eq(x, y, lit(3))
+        assert conflict == {lit(1), lit(3)}
+        assert eq_matrix(e, [x, y, z, gx, gy]) == before
+        assert e.generation > gen  # undo invalidates interface caches
+        assert not e._pending
+
+    def test_generation_advances_on_undo(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        e.add_term(x)
+        e.add_term(y)
+        mark = e.mark()
+        gen = e.generation
+        e.assert_eq(x, y, lit(1))
+        e.undo_to(mark)
+        assert e.generation > gen
+        assert not e.are_equal(x, y)
+
+
+class TestUndoWithTermCreation:
+    def test_terms_added_after_mark_are_removed(self, f):
+        e = EufSolver()
+        x, y = f.int_var("x"), f.int_var("y")
+        e.add_term(x)
+        e.add_term(y)
+        mark = e.mark()
+        gx = f.apply("g", [x])
+        e.add_term(gx)
+        assert gx.tid in e._terms
+        e.undo_to(mark)
+        assert gx.tid not in e._terms
+        # re-adding after the undo works and congruence still fires
+        gy = f.apply("g", [y])
+        e.add_term(gx)
+        e.add_term(gy)
+        e.assert_eq(x, y, lit(1))
+        assert e.are_equal(gx, gy)

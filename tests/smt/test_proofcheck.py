@@ -81,6 +81,34 @@ def test_deleting_absent_clause_rejected():
         check_proof_text("i 1 2 0\nd 1 3 0\n")
 
 
+def test_delete_then_final_needing_it_rejected():
+    # The assumption-core final clause {-1,-2} is RUP only through the
+    # input clause it restates; deleting that clause first must be
+    # rejected.  (Unit deletions would not do here: propagated root units
+    # are deliberately never retracted, and a root-unsat database makes
+    # every later step vacuously RUP.)
+    with pytest.raises(ProofError, match="not RUP"):
+        check_proof_text("i -1 -2 0\nd -1 -2 0\nf -1 -2 0\n",
+                         require_unsat=True)
+    # the same certificate with the deletion after the final step is fine
+    assert check_proof_text("i -1 -2 0\nf -1 -2 0\nd -1 -2 0\n",
+                            require_unsat=True) == 1
+
+
+def test_interleaved_deletions_valid():
+    # Derive 2, use it, retire the originals, then finish from what's left.
+    n = check_proof_text("""
+        i 1 2 0
+        i -1 2 0
+        a 2 0
+        d 1 2 0
+        d -1 2 0
+        i -2 0
+        f 0
+    """, require_unsat=True)
+    assert n == 2
+
+
 def test_step_errors_carry_the_step_index():
     with pytest.raises(ProofError, match="step 1"):
         check_proof([("i", (1, 2)), ("a", (3,))])
@@ -130,4 +158,22 @@ def test_solver_log_checks_independently():
     assert s.check() == "unsat"
     # The embedded replay already ran; re-check the same log from scratch
     # with a fresh checker to make sure the log is self-contained.
+    assert check_proof(s.sat.proof.steps, require_unsat=True) >= 1
+
+
+def test_solver_log_with_db_reduction_checks_independently():
+    # Force the learnt-DB reduction to fire during a validated solve: the
+    # log then interleaves 'd' steps with derivations and must still both
+    # replay inside the solver (validate=True) and re-check from scratch.
+    f = TermFactory()
+    xs = [f.int_var(f"x{i}") for i in range(7)]
+    s = Solver(f, validate=True)
+    s.sat._reduce_interval = 4
+    s.sat._next_reduce = 4
+    # an odd cycle of strict orders plus pairwise diseq pressure: plenty
+    # of conflicts, unsat overall
+    for a, b in zip(xs, xs[1:]):
+        s.add(f.lt(a, b))
+    s.add(f.lt(xs[-1], xs[0]))
+    assert s.check() == "unsat"
     assert check_proof(s.sat.proof.steps, require_unsat=True) >= 1

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_perf.json files and print per-suite deltas.
+
+For every section both files share, prints one row per suite with the
+wall-seconds, query, conflict and propagation deltas, plus a per-section
+and overall rollup.  Intended for CI perf-smoke (old = committed
+baseline, new = the run just produced) and for eyeballing the effect of
+a solver change locally::
+
+    python tools/bench_compare.py benchmarks/baselines/BENCH_perf_baseline.json BENCH_perf.json
+
+Exit status is 0 unless the overall wall time regressed by more than
+``--fail-factor`` (default 2.0; CI machines are noisy, so only a gross
+regression is treated as a failure — everything else is advisory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from _util import section_aggregate  # noqa: E402
+
+
+def _suites(section: dict) -> dict:
+    suites = section.get("suites")
+    return suites if isinstance(suites, dict) else {}
+
+
+def _delta(old: float, new: float) -> str:
+    if old == 0:
+        return "  n/a" if new == 0 else " +inf"
+    return f"{(new - old) / old * 100.0:+5.1f}%"
+
+
+def _row(name: str, old: dict, new: dict) -> str:
+    ow, nw = old["wall_seconds"], new["wall_seconds"]
+    return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
+            f"  queries {old['queries']:>5} -> {new['queries']:>5}"
+            f"  conflicts {old['conflicts']:>6} -> {new['conflicts']:>6}"
+            f"  props {old['propagations']:>8} -> {new['propagations']:>8}")
+
+
+def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
+    """Print the per-suite/per-section diff; return (old, new) total wall
+    seconds over the sections the two files share."""
+    total_old = total_new = 0.0
+    shared = [s for s in old if s != "meta" and s in new]
+    for missing in sorted(set(old) - set(new) - {"meta"}):
+        print(f"section {missing}: only in old file, skipped", file=out)
+    for missing in sorted(set(new) - set(old) - {"meta"}):
+        print(f"section {missing}: only in new file, skipped", file=out)
+    for section in sorted(shared):
+        print(f"section {section}:", file=out)
+        olds, news = _suites(old[section]), _suites(new[section])
+        for name in sorted(set(olds) | set(news)):
+            if name not in olds or name not in news:
+                side = "old" if name in olds else "new"
+                print(f"  {name:<24} only in {side} file", file=out)
+                continue
+            print(_row(name, section_aggregate(olds[name]),
+                       section_aggregate(news[name])), file=out)
+        o = section_aggregate(old[section])
+        n = section_aggregate(new[section])
+        print(_row("TOTAL", o, n), file=out)
+        total_old += o["wall_seconds"]
+        total_new += n["wall_seconds"]
+    print(f"overall wall: {total_old:.3f}s -> {total_new:.3f}s "
+          f"({_delta(total_old, total_new)})", file=out)
+    return total_old, total_new
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="bench_compare",
+        description="diff two BENCH_perf.json files (per-suite wall/query/"
+                    "conflict/propagation deltas)")
+    ap.add_argument("old", type=Path, help="baseline BENCH_perf.json")
+    ap.add_argument("new", type=Path, help="candidate BENCH_perf.json")
+    ap.add_argument("--fail-factor", type=float, default=2.0,
+                    help="exit 2 if overall wall time exceeds baseline by "
+                         "this factor (default 2.0)")
+    args = ap.parse_args(argv)
+
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    total_old, total_new = compare(old, new)
+    if total_old > 0 and total_new > args.fail_factor * total_old:
+        print(f"FAIL: overall wall time regressed more than "
+              f"{args.fail_factor}x", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
