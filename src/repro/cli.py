@@ -12,14 +12,22 @@ Usage::
     python -m repro [--c] [--config NAME]... [--prune-k K]
                     [--timeout SECONDS] [--proc NAME] [--jobs N]
                     [--cache-dir DIR | --no-cache] [--self-check] FILE
+    python -m repro serve  [--socket ADDR] [--pool N] [--queue-limit N] ...
+    python -m repro submit [--socket ADDR] [--c] [--config NAME]... FILE
 
 ``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
 the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
 ``--proc`` restricts to one procedure.  ``--cache-dir`` (default: the
 ``REPRO_CACHE_DIR`` environment variable) enables the persistent
 analysis cache, making re-runs on unchanged procedures near-instant;
-``--no-cache`` turns it off regardless.  Every flag is documented with
-examples in ``docs/cli.md``.
+``--no-cache`` turns it off regardless.
+
+``serve`` runs the persistent analysis daemon (`repro.serve`) on
+``--socket`` (default: the ``REPRO_SERVE_SOCKET`` environment variable,
+mirroring the ``REPRO_CACHE_DIR`` pattern); ``submit`` sends a file to a
+running daemon and prints *exactly* what the batch invocation would
+print for the same flags — CI diffs the two.  Every flag and every exit
+code is documented with examples in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -80,7 +88,187 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _default_socket() -> str | None:
+    return os.environ.get("REPRO_SERVE_SOCKET")
+
+
+def _add_socket_flag(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("--socket", metavar="ADDR", default=_default_socket(),
+                    help="analysis-service address: a Unix socket path or "
+                         "host:port (default: $REPRO_SERVE_SOCKET)")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro serve",
+        description="run the persistent analysis daemon: a warm worker "
+                    "pool behind a JSON-lines socket protocol (see "
+                    "docs/serving.md)")
+    _add_socket_flag(ap)
+    ap.add_argument("--pool", type=int, default=2, metavar="N",
+                    help="number of persistent worker processes (default 2)")
+    ap.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                    help="max distinct in-flight computations before "
+                         "submissions are rejected with retry-after "
+                         "(default 64)")
+    ap.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="default per-request wall deadline (requests may "
+                         "override; default: none)")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    default=os.environ.get("REPRO_CACHE_DIR"),
+                    help="persistent analysis cache shared by all workers "
+                         "(default: $REPRO_CACHE_DIR)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the persistent cache even if "
+                         "--cache-dir / $REPRO_CACHE_DIR is set")
+    ap.add_argument("--no-coalesce", action="store_true",
+                    help="disable in-flight request coalescing")
+    return ap
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro submit",
+        description="submit a file to a running analysis daemon; output "
+                    "is identical to the batch invocation with the same "
+                    "flags")
+    ap.add_argument("file", help="input program (mini-Boogie, or mini-C "
+                                 "with --c)")
+    _add_socket_flag(ap)
+    ap.add_argument("--c", action="store_true", dest="c_mode",
+                    help="treat the input as mini-C (HAVOC-style lowering)")
+    ap.add_argument("--config", action="append", dest="configs",
+                    metavar="NAME", choices=sorted(BY_NAME),
+                    help="abstract configuration (repeatable; default Conc)")
+    ap.add_argument("--prune-k", type=int, default=None, metavar="K",
+                    help="clause pruning bound (§4.3); default: no pruning")
+    ap.add_argument("--timeout", type=float, default=10.0,
+                    help="per-procedure timeout in seconds (default 10)")
+    ap.add_argument("--proc", default=None,
+                    help="analyze only this procedure")
+    ap.add_argument("--unroll", type=int, default=2,
+                    help="loop unrolling depth (default 2)")
+    ap.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-request wall deadline enforced by the server "
+                         "(expired procedures come back as failures)")
+    ap.add_argument("--self-check", action="store_true",
+                    help="certificate-check every solver answer (exit 3 on "
+                         "any rejection, as in batch mode)")
+    ap.add_argument("--show-cons", action="store_true",
+                    help="also print the conservative verifier's warnings")
+    return ap
+
+
+def run_serve(argv: list[str], out=sys.stdout) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if not args.socket:
+        print("error: serve needs --socket or $REPRO_SERVE_SOCKET",
+              file=sys.stderr)
+        return 2
+    from .serve import run_server
+    cache_dir = None if args.no_cache else args.cache_dir
+    print(f"repro serve: listening on {args.socket} "
+          f"(pool={args.pool}, queue_limit={args.queue_limit}, "
+          f"cache={'on' if cache_dir else 'off'})", file=out, flush=True)
+    try:
+        run_server(args.socket, pool_size=args.pool,
+                   queue_limit=args.queue_limit, cache_dir=cache_dir,
+                   default_deadline=args.deadline,
+                   coalesce=not args.no_coalesce)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("repro serve: drained, exiting", file=out, flush=True)
+    return 0
+
+
+def run_submit(argv: list[str], out=sys.stdout) -> int:
+    args = build_submit_parser().parse_args(argv)
+    if not args.socket:
+        print("error: submit needs --socket or $REPRO_SERVE_SOCKET",
+              file=sys.stderr)
+        return 2
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from .serve import ServeClient, ServeError
+    configs = [BY_NAME[n] for n in (args.configs or ["Conc"])]
+    procs = [args.proc] if args.proc is not None else None
+    by_key = {}
+    proc_names: list[str] = []
+    client = ServeClient(args.socket)
+    try:
+        for config in configs:
+            rep = client.analyze(
+                source, lang="c" if args.c_mode else "boogie",
+                config=config.name, procs=procs, prune_k=args.prune_k,
+                timeout=args.timeout, unroll=args.unroll,
+                self_check=args.self_check, deadline=args.deadline)
+            proc_names = [r.proc_name for r in rep.reports]
+            for r in rep.reports:
+                by_key[(r.proc_name, config.name)] = r
+    except ServeError as exc:
+        if exc.code == "bad_request" and "no such procedures" in str(exc):
+            print(f"error: no procedure named {args.proc!r}",
+                  file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    for report in by_key.values():
+        if report.failed and report.failure.get("type") == "CertificateError":
+            print(f"certificate rejected: "
+                  f"{report.failure.get('message', '')}", file=sys.stderr)
+            return 3
+    any_warning, any_failure = _print_reports(
+        by_key, proc_names, configs, args.prune_k, args.show_cons, out)
+    if any_failure:
+        return 4
+    return 1 if any_warning else 0
+
+
+def _print_reports(by_key, proc_names, configs, prune_k, show_cons,
+                   out) -> tuple[bool, bool]:
+    """Render per-procedure reports exactly the same way for the batch
+    and submit paths (CI diffs their outputs byte-for-byte)."""
+    any_warning = False
+    any_failure = False
+    for name in proc_names:
+        for config in configs:
+            report = by_key[(name, config.name)]
+            header = f"{name} [{config.name}" + \
+                (f", k={prune_k}" if prune_k is not None else "") + "]"
+            if report.timed_out:
+                print(f"{header}: TIMEOUT", file=out)
+                continue
+            if report.failed:
+                any_failure = True
+                ftype = report.failure.get("type", "unknown")
+                fmsg = report.failure.get("message", "")
+                print(f"{header}: FAILED ({ftype}: {fmsg})", file=out)
+                continue
+            print(f"{header}: {report.status}", file=out)
+            if show_cons and report.conservative_warnings:
+                print(f"  conservative warnings: "
+                      f"{', '.join(report.conservative_warnings)}", file=out)
+            for spec in report.specs:
+                print(f"  almost-correct spec: {spec}", file=out)
+            for w in report.warnings:
+                any_warning = True
+                print(f"  WARNING {w}", file=out)
+    return any_warning, any_failure
+
+
 def run(argv: list[str] | None = None, out=sys.stdout) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:], out=out)
+    if argv and argv[0] == "submit":
+        return run_submit(argv[1:], out=out)
     args = build_arg_parser().parse_args(argv)
     try:
         source = open(args.file).read()
@@ -145,24 +333,10 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         print(f"certificate rejected: {exc}", file=sys.stderr)
         return 3
 
-    any_warning = False
-    for name in proc_names:
-        for config in configs:
-            report = by_key[(name, config.name)]
-            header = f"{name} [{config.name}" + \
-                (f", k={args.prune_k}" if args.prune_k is not None else "") + "]"
-            if report.timed_out:
-                print(f"{header}: TIMEOUT", file=out)
-                continue
-            print(f"{header}: {report.status}", file=out)
-            if args.show_cons and report.conservative_warnings:
-                print(f"  conservative warnings: "
-                      f"{', '.join(report.conservative_warnings)}", file=out)
-            for spec in report.specs:
-                print(f"  almost-correct spec: {spec}", file=out)
-            for w in report.warnings:
-                any_warning = True
-                print(f"  WARNING {w}", file=out)
+    any_warning, any_failure = _print_reports(
+        by_key, proc_names, configs, args.prune_k, args.show_cons, out)
+    if any_failure:
+        return 4
     return 1 if any_warning else 0
 
 

@@ -10,7 +10,14 @@ solver), so ``analyze_program`` and ``conservative_program`` accept
 ``jobs``: with ``jobs > 1`` the sweep fans out across a
 ``ProcessPoolExecutor``.  The default ``jobs=1`` keeps the serial,
 deterministic path; results are identical either way (modulo wall-clock
-fields), which is property-tested.
+fields), which is property-tested.  Both sweeps hand each procedure to
+a worker as a `repro.core.tasks.AnalysisTask` — the same unit of work
+the analysis server (`repro.serve`) streams to its persistent pool —
+and a procedure whose analysis *raises* becomes a structured failure
+entry in the report (``ProcedureReport.failed`` + ``.failure``) instead
+of aborting the whole sweep.  The one exception is a rejected solver
+certificate under ``self_check``: that is re-raised, because a
+certificate failure means the toolchain itself is wrong.
 
 Both sweeps, and ``analyze_procedure`` itself, consult the persistent
 content-addressed cache (`repro.core.cache`) when given one: a procedure
@@ -32,7 +39,6 @@ from ..smt.allsat import AllSatBudgetExceeded
 from ..smt.theories.lia import LiaBudgetExceeded
 from .acspec import SearchBudgetExceeded
 from .cache import AnalysisCache, merge_cache_stats
-from .checker import check_procedure
 from .config import AbstractionConfig, CONC
 from .deadfail import AnalysisTimeout, Budget
 from .sib import SibResult, SibStatus, find_abstract_sibs
@@ -46,6 +52,12 @@ class ProcedureReport:
     proc_name: str
     config_name: str
     timed_out: bool = False
+    # analysis blew up (bug, resource limit, dead worker): the sweep
+    # carries on and this entry records what happened instead of the
+    # whole program analysis aborting.  ``failure`` holds
+    # {"type": exception-or-infrastructure code, "message": str}.
+    failed: bool = False
+    failure: dict = field(default_factory=dict)
     status: str = SibStatus.CORRECT
     warnings: list = field(default_factory=list)
     conservative_warnings: list = field(default_factory=list)
@@ -89,11 +101,20 @@ class ProgramReport:
         return sum(1 for r in self.reports if r.timed_out)
 
     @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.reports if r.failed)
+
+    @property
+    def failed_procs(self) -> list[str]:
+        return [r.proc_name for r in self.reports if r.failed]
+
+    @property
     def warned_procs(self) -> list[str]:
         return [r.proc_name for r in self.reports if r.warnings]
 
     def avg(self, attr: str) -> float:
-        vals = [getattr(r, attr) for r in self.reports if not r.timed_out]
+        vals = [getattr(r, attr) for r in self.reports
+                if not r.timed_out and not r.failed]
         return sum(vals) / len(vals) if vals else 0.0
 
     def total(self, attr: str) -> int:
@@ -181,18 +202,34 @@ def _proc_names(program: Program, proc_names: list[str] | None) -> list[str]:
             if p.body is not None]
 
 
-def _analyze_worker(payload) -> tuple[ProcedureReport, dict | None]:
-    """Module-level so ProcessPoolExecutor can pickle it.  Returns the
-    report plus this call's persistent-cache counter delta (``None``
-    when no cache directory is configured)."""
-    (program, name, config, prune_k, timeout, unroll_depth, max_preds,
-     lia_budget, cache_dir, self_check) = payload
-    cache = AnalysisCache(cache_dir) if cache_dir else None
-    report = analyze_procedure(program, name, config=config, prune_k=prune_k,
-                               timeout=timeout, unroll_depth=unroll_depth,
-                               max_preds=max_preds, lia_budget=lia_budget,
-                               cache=cache, self_check=self_check)
-    return report, (cache.stats() if cache is not None else None)
+def _reraise_certificate(failure: dict) -> None:
+    """A rejected certificate is a toolchain bug, not a per-procedure
+    hiccup: restore the batch paths' historical behavior of raising
+    (the CLI maps it to exit 3)."""
+    if failure.get("type") == "CertificateError":
+        from ..smt.api import CertificateError
+        raise CertificateError(failure.get("message", ""))
+
+
+def failure_report(proc_name: str, config_name: str,
+                   failure: dict) -> ProcedureReport:
+    """The structured per-procedure failure entry shared by the batch
+    sweeps and the server's error path."""
+    return ProcedureReport(proc_name=proc_name, config_name=config_name,
+                           failed=True, failure=dict(failure))
+
+
+def run_tasks(tasks: list, jobs: int = 1) -> list:
+    """Run :class:`~repro.core.tasks.AnalysisTask` items, serially or
+    over a ``ProcessPoolExecutor``; one :class:`TaskResult` per task,
+    in task order.  ``run_task`` never raises, so one broken procedure
+    cannot abort the sweep."""
+    from .tasks import run_task
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(run_task, tasks))
+    return [run_task(t) for t in tasks]
 
 
 def analyze_program(program: Program,
@@ -212,49 +249,30 @@ def analyze_program(program: Program,
     report order always follows ``proc_names`` order.  ``cache_dir``
     points every worker at one shared persistent analysis cache
     (`repro.core.cache`); per-worker counters are merged into
-    ``ProgramReport.cache_stats``.
+    ``ProgramReport.cache_stats``.  A procedure whose analysis raises
+    becomes a :func:`failure_report` entry; a ``CertificateError`` is
+    re-raised after the sweep result is known.
     """
+    from .tasks import AnalysisTask
     out = ProgramReport(config_name=config.name, prune_k=prune_k)
     names = _proc_names(program, proc_names)
     cache_dir = str(cache_dir) if cache_dir is not None else None
-    payloads = [(program, name, config, prune_k, timeout, unroll_depth,
-                 max_preds, lia_budget, cache_dir, self_check)
-                for name in names]
-    if jobs > 1 and len(names) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            results = list(pool.map(_analyze_worker, payloads))
-    else:
-        results = [_analyze_worker(p) for p in payloads]
-    out.reports = [report for report, _ in results]
-    out.cache_stats = merge_cache_stats(stats for _, stats in results)
+    tasks = [AnalysisTask(kind="analyze", proc_name=name, program=program,
+                          config_name=config.name, prune_k=prune_k,
+                          timeout=timeout, unroll_depth=unroll_depth,
+                          max_preds=max_preds, lia_budget=lia_budget,
+                          cache_dir=cache_dir, self_check=self_check)
+             for name in names]
+    results = run_tasks(tasks, jobs=jobs)
+    for res in results:
+        if res.failure is not None:
+            _reraise_certificate(res.failure)
+            out.reports.append(failure_report(res.proc_name, config.name,
+                                              res.failure))
+        else:
+            out.reports.append(res.report)
+    out.cache_stats = merge_cache_stats(r.cache_stats for r in results)
     return out
-
-
-def _conservative_worker(payload) -> tuple[str, list, bool, dict | None]:
-    (program, name, timeout, unroll_depth, lia_budget, cache_dir,
-     self_check) = payload
-    cache = AnalysisCache(cache_dir) if cache_dir else None
-    prepared = None
-    key = None
-    if cache is not None:
-        prepared = prepare_procedure(program, program.proc(name),
-                                     unroll_depth=unroll_depth)
-        key = cache.cons_key(program, prepared, unroll_depth=unroll_depth)
-        hit = cache.load_cons(key)
-        if hit is not None:
-            return name, hit, False, cache.stats()
-    try:
-        res = check_procedure(program, name, budget=Budget(timeout),
-                              unroll_depth=unroll_depth,
-                              lia_budget=lia_budget, prepared=prepared,
-                              self_check=self_check)
-    except _BUDGET_ERRORS:
-        return name, [], True, (cache.stats() if cache is not None else None)
-    if cache is not None:
-        cache.store_cons(key, res)
-    return name, res.warnings, False, (
-        cache.stats() if cache is not None else None)
 
 
 def conservative_program(program: Program, timeout: float | None = 10.0,
@@ -264,31 +282,75 @@ def conservative_program(program: Program, timeout: float | None = 10.0,
                          jobs: int = 1,
                          cache_dir: str | None = None,
                          cache_stats_out: dict | None = None,
-                         self_check: bool = False):
+                         self_check: bool = False,
+                         failures_out: dict | None = None):
     """The Cons baseline over a program: (per-proc warning lists, timeouts).
 
     ``cache_dir`` enables the shared persistent cache as in
     :func:`analyze_program`; because the return shape is fixed, the
     merged cache counters are delivered by mutating ``cache_stats_out``
-    (when a dict is passed) instead of being returned.
+    (when a dict is passed) instead of being returned.  A procedure
+    whose check raises is reported with an empty warning list; pass
+    ``failures_out`` (a dict) to collect the structured
+    ``{proc_name: {"type", "message"}}`` failure entries.
     """
+    from .tasks import AnalysisTask
     names = _proc_names(program, proc_names)
     cache_dir = str(cache_dir) if cache_dir is not None else None
-    payloads = [(program, name, timeout, unroll_depth, lia_budget, cache_dir,
-                 self_check) for name in names]
-    if jobs > 1 and len(names) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            results = list(pool.map(_conservative_worker, payloads))
-    else:
-        results = [_conservative_worker(p) for p in payloads]
+    tasks = [AnalysisTask(kind="cons", proc_name=name, program=program,
+                          timeout=timeout, unroll_depth=unroll_depth,
+                          lia_budget=lia_budget, cache_dir=cache_dir,
+                          self_check=self_check)
+             for name in names]
+    results = run_tasks(tasks, jobs=jobs)
     warnings: dict[str, list] = {}
     timeouts = 0
-    for name, warns, timed_out, _ in results:
-        warnings[name] = warns
-        if timed_out:
+    for res in results:
+        if res.failure is not None:
+            _reraise_certificate(res.failure)
+            warnings[res.proc_name] = []
+            if failures_out is not None:
+                failures_out[res.proc_name] = dict(res.failure)
+            continue
+        warnings[res.proc_name] = res.cons_warnings
+        if res.cons_timed_out:
             timeouts += 1
     if cache_stats_out is not None:
         cache_stats_out.update(
-            merge_cache_stats(stats for *_, stats in results))
+            merge_cache_stats(r.cache_stats for r in results))
     return warnings, timeouts
+
+
+# ----------------------------------------------------------------------
+# wire format: the JSON shape the analysis server ships reports in
+# ----------------------------------------------------------------------
+
+def program_report_to_json(report: ProgramReport) -> dict:
+    """A JSON-safe dict carrying a ``ProgramReport`` verbatim.  The
+    persistent cache already stores ``ProcedureReport`` as
+    ``dataclasses.asdict`` JSON, so the same encoding is bit-exact."""
+    from dataclasses import asdict
+    return {
+        "config_name": report.config_name,
+        "prune_k": report.prune_k,
+        "cache_stats": dict(report.cache_stats),
+        "reports": [asdict(r) for r in report.reports],
+    }
+
+
+def program_report_from_json(data: dict) -> ProgramReport:
+    """Inverse of :func:`program_report_to_json` (strict: unknown
+    report fields are an error, mirroring the cache loader)."""
+    field_names = {f.name for f in
+                   ProcedureReport.__dataclass_fields__.values()}
+    reports = []
+    for rd in data["reports"]:
+        unknown = set(rd) - field_names
+        if unknown:
+            raise ValueError(f"unknown report fields {unknown}")
+        reports.append(ProcedureReport(**rd))
+    out = ProgramReport(config_name=data["config_name"],
+                        prune_k=data["prune_k"])
+    out.reports = reports
+    out.cache_stats = dict(data.get("cache_stats") or {})
+    return out

@@ -50,7 +50,47 @@ from .deadfail import seed_baselines
 #: or shape of a record changes (new ``ProcedureReport`` fields, changed
 #: id assignment, changed semantics); old records then hash to different
 #: keys and simply stop being found — no migration, no mixed reads.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    h.update(f"acspec-cache:{SCHEMA_VERSION}".encode())
+    for part in parts:
+        h.update(b"\x00")
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+def analysis_cache_key(program: Program, prepared: Procedure, *,
+                       config: AbstractionConfig, prune_k: int | None,
+                       unroll_depth: int, max_preds: int,
+                       dead_through_failures: bool = True) -> str:
+    """The content address of one ``analyze_procedure`` outcome.
+
+    ``prepared`` must be the post-elaboration procedure (it already
+    reflects ``havoc_returns`` and ``unroll_depth``; both are still
+    mixed in explicitly so the key derivation needs no knowledge of
+    which knobs the lowering absorbed).  Module-level so the serving
+    layer can coalesce identical in-flight requests on the same
+    address without opening a cache.
+    """
+    return _digest(
+        "analysis",
+        f"ignore_conditionals={config.ignore_conditionals}",
+        f"havoc_returns={config.havoc_returns}",
+        f"prune_k={prune_k}",
+        f"unroll_depth={unroll_depth}",
+        f"max_preds={max_preds}",
+        f"dead_through_failures={dead_through_failures}",
+        procedure_fingerprint(program, prepared))
+
+
+def cons_cache_key(program: Program, prepared: Procedure, *,
+                   unroll_depth: int) -> str:
+    """The content address of one conservative-verifier outcome."""
+    return _digest("cons", f"unroll_depth={unroll_depth}",
+                   procedure_fingerprint(program, prepared))
 
 
 class AnalysisCache:
@@ -98,37 +138,17 @@ class AnalysisCache:
                      config: AbstractionConfig, prune_k: int | None,
                      unroll_depth: int, max_preds: int,
                      dead_through_failures: bool = True) -> str:
-        """The content address of one ``analyze_procedure`` outcome.
-
-        ``prepared`` must be the post-elaboration procedure (it already
-        reflects ``havoc_returns`` and ``unroll_depth``; both are still
-        mixed in explicitly so the key derivation needs no knowledge of
-        which knobs the lowering absorbed).
-        """
-        return self._digest(
-            "analysis",
-            f"ignore_conditionals={config.ignore_conditionals}",
-            f"havoc_returns={config.havoc_returns}",
-            f"prune_k={prune_k}",
-            f"unroll_depth={unroll_depth}",
-            f"max_preds={max_preds}",
-            f"dead_through_failures={dead_through_failures}",
-            procedure_fingerprint(program, prepared))
+        """See :func:`analysis_cache_key` (kept as a method for callers
+        that already hold a cache)."""
+        return analysis_cache_key(
+            program, prepared, config=config, prune_k=prune_k,
+            unroll_depth=unroll_depth, max_preds=max_preds,
+            dead_through_failures=dead_through_failures)
 
     def cons_key(self, program: Program, prepared: Procedure, *,
                  unroll_depth: int) -> str:
-        """The content address of one conservative-verifier outcome."""
-        return self._digest("cons", f"unroll_depth={unroll_depth}",
-                            procedure_fingerprint(program, prepared))
-
-    @staticmethod
-    def _digest(*parts: str) -> str:
-        h = hashlib.sha256()
-        h.update(f"acspec-cache:{SCHEMA_VERSION}".encode())
-        for part in parts:
-            h.update(b"\x00")
-            h.update(part.encode())
-        return h.hexdigest()
+        """See :func:`cons_cache_key`."""
+        return cons_cache_key(program, prepared, unroll_depth=unroll_depth)
 
     # ------------------------------------------------------------------
     # records
@@ -219,7 +239,7 @@ class AnalysisCache:
         reports must not be stored — they depend on the budget, which is
         outside the key."""
         from dataclasses import asdict
-        if report.timed_out:
+        if report.timed_out or report.failed:
             return
         self._write(key, {
             "schema": SCHEMA_VERSION,

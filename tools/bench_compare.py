@@ -9,6 +9,11 @@ a solver change locally::
 
     python tools/bench_compare.py benchmarks/baselines/BENCH_perf_baseline.json BENCH_perf.json
 
+Also understands ``BENCH_serve.json`` from the serving load generator
+(``benchmarks/test_serve_load.py``): records carrying latency
+aggregates (``throughput_rps``/``p50_ms``/``p99_ms``) get a
+latency-delta row instead of solver counters.
+
 Exit status is 0 unless the overall wall time regressed by more than
 ``--fail-factor`` (default 2.0; CI machines are noisy, so only a gross
 regression is treated as a failure — everything else is advisory).
@@ -37,6 +42,18 @@ def _delta(old: float, new: float) -> str:
     return f"{(new - old) / old * 100.0:+5.1f}%"
 
 
+def _serve_row(name: str, old: dict, new: dict) -> str:
+    """Serving records (BENCH_serve.json) carry latency aggregates
+    instead of solver counters: throughput and p50/p99 deltas."""
+    ow, nw = old["wall_seconds"], new["wall_seconds"]
+    return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
+            f"  rps {old['throughput_rps']:>7.2f} ->"
+            f" {new['throughput_rps']:>7.2f}"
+            f" ({_delta(old['throughput_rps'], new['throughput_rps'])})"
+            f"  p50 {old['p50_ms']:>6.0f}ms -> {new['p50_ms']:>6.0f}ms"
+            f"  p99 {old['p99_ms']:>6.0f}ms -> {new['p99_ms']:>6.0f}ms")
+
+
 def _row(name: str, old: dict, new: dict) -> str:
     ow, nw = old["wall_seconds"], new["wall_seconds"]
     return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
@@ -49,10 +66,12 @@ def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
     """Print the per-suite/per-section diff; return (old, new) total wall
     seconds over the sections the two files share."""
     total_old = total_new = 0.0
-    shared = [s for s in old if s != "meta" and s in new]
-    for missing in sorted(set(old) - set(new) - {"meta"}):
+    # non-benchmark sections: run knobs and raw server snapshots
+    skip = {"meta", "server_metrics"}
+    shared = [s for s in old if s not in skip and s in new]
+    for missing in sorted(set(old) - set(new) - skip):
         print(f"section {missing}: only in old file, skipped", file=out)
-    for missing in sorted(set(new) - set(old) - {"meta"}):
+    for missing in sorted(set(new) - set(old) - skip):
         print(f"section {missing}: only in new file, skipped", file=out)
     for section in sorted(shared):
         print(f"section {section}:", file=out)
@@ -61,6 +80,10 @@ def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
             if name not in olds or name not in news:
                 side = "old" if name in olds else "new"
                 print(f"  {name:<24} only in {side} file", file=out)
+                continue
+            if ("throughput_rps" in olds[name]
+                    and "throughput_rps" in news[name]):
+                print(_serve_row(name, olds[name], news[name]), file=out)
                 continue
             print(_row(name, section_aggregate(olds[name]),
                        section_aggregate(news[name])), file=out)
