@@ -87,7 +87,8 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
                        max_preds: int = 12,
                        lia_budget: int = 20000,
                        prepared: Procedure | None = None,
-                       self_check: bool = False) -> SibResult:
+                       self_check: bool = False,
+                       parallel=None) -> SibResult:
     """Run Algorithm 1 for one procedure under one configuration.
 
     ``prune_k`` is the §4.3 clause-pruning bound (None = no pruning).
@@ -98,6 +99,9 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
     unroll_depth)``.
     ``self_check`` certificate-checks every solver answer
     (:class:`repro.smt.api.CertificateError` on rejection).
+    ``parallel`` (a :class:`repro.smt.parallel.ParallelConfig` or None)
+    races hard oracle queries across portfolio/cube worker processes;
+    verdicts — and therefore reports — are unchanged.
     Budget exhaustion raises :class:`repro.core.deadfail.AnalysisTimeout`.
     """
     if isinstance(proc, str):
@@ -117,8 +121,19 @@ def find_abstract_sibs(program: Program, proc: Procedure | str,
                                      unroll_depth=unroll_depth)
     mark("lower")
     enc = EncodedProcedure(program, prepared, lia_budget=lia_budget,
-                           self_check=self_check)
+                           self_check=self_check, parallel=parallel)
     mark("encode")
+    try:
+        return _find_abstract_sibs(program, proc, config, prune_k, budget,
+                                   max_preds, enc, prepared, timings, mark)
+    finally:
+        # release the intra-query worker processes (no-op when parallel
+        # is off); a sweep over many procedures must not accumulate them
+        enc.solver.close()
+
+
+def _find_abstract_sibs(program, proc, config, prune_k, budget, max_preds,
+                        enc, prepared, timings, mark) -> SibResult:
     preds = mine_predicates(program, prepared,
                             ignore_conditionals=config.ignore_conditionals,
                             max_preds=max_preds)

@@ -46,12 +46,22 @@ class CertificateError(SolverError):
 
 class Solver:
     def __init__(self, factory: TermFactory | None = None,
-                 lia_budget: int = 20000, validate: bool = False):
+                 lia_budget: int = 20000, validate: bool = False,
+                 parallel=None):
         self.factory = factory if factory is not None else TermFactory()
         self.sat = SatSolver()
         self.cnf = CnfBuilder(self.factory, self.sat)
         self.theory = TheoryCore(self.factory, self.cnf, lia_budget=lia_budget)
         self.sat.theory = self.theory
+        # Intra-query parallel mode (repro.smt.parallel): when a
+        # ParallelConfig is attached, every public mutation below is
+        # recorded so worker processes can replay the solver state, and
+        # check() escalates hard queries to a portfolio/cube race.
+        self._par_ctx = None
+        if parallel is not None:
+            from .parallel import ParallelContext
+            self._par_ctx = ParallelContext(parallel, validate=validate,
+                                            lia_budget=lia_budget)
         self._last_result: str | None = None
         # Self-checking mode: every "unsat" answer must carry a DRUP-style
         # proof accepted by repro.smt.proofcheck, and every "sat" answer a
@@ -102,15 +112,23 @@ class Solver:
                 # also cross-checks store elimination and ite purification.
                 self._asserted.append(fm)
             self.cnf.assert_formula(self._prepare(fm))
+            if self._par_ctx is not None:
+                self._par_ctx.record("add", term=fm)
 
     def lit_for(self, formula: Term) -> int:
         """A SAT literal equisatisfiable with ``formula`` (definitions added)."""
         self.sat._backjump(0)
-        return self.cnf.lit_for(self._prepare(formula))
+        lit = self.cnf.lit_for(self._prepare(formula))
+        if self._par_ctx is not None:
+            self._par_ctx.record("lit", term=formula, expect=lit)
+        return lit
 
     def new_indicator(self) -> int:
         """A fresh boolean indicator literal for guarded assertions."""
-        return self.sat.new_var()
+        v = self.sat.new_var()
+        if self._par_ctx is not None:
+            self._par_ctx.record("ind", expect=v)
+        return v
 
     def add_guarded(self, indicator: int, formula: Term) -> None:
         """Assert ``indicator -> formula``; enable it by assuming
@@ -119,12 +137,17 @@ class Solver:
         if self.validate:
             self._guarded.setdefault(indicator, []).append(formula)
         self.cnf.assert_implication(indicator, self._prepare(formula))
+        if self._par_ctx is not None:
+            self._par_ctx.record("guard", term=formula, expect=indicator)
 
     def add_clause_lits(self, lits: Iterable[int]) -> None:
         """Add a raw clause over already-created literals (used by ALL-SAT
         blocking)."""
         self.sat._backjump(0)
-        self.sat.add_clause(list(lits))
+        lits = list(lits)
+        self.sat.add_clause(lits)
+        if self._par_ctx is not None:
+            self._par_ctx.record("raw", lits=lits)
 
     # ------------------------------------------------------------------
     # solving
@@ -132,13 +155,31 @@ class Solver:
 
     def stats(self) -> dict:
         """Combined search + theory counters (SAT core counters, theory
-        timings, incrementality/lemma-cache hit counts)."""
+        timings, incrementality/lemma-cache hit counts, and — when the
+        parallel mode is on — the portfolio/cube race counters; the
+        workers' ``clauses_imported`` are folded into the parent's)."""
         out = self.sat.stats()
         out.update(self.theory.stats())
+        if self._par_ctx is not None:
+            for k, v in self._par_ctx.stats().items():
+                out[k] = out.get(k, 0) + v
         return out
 
+    def close(self) -> None:
+        """Release external resources (parallel worker processes)."""
+        if self._par_ctx is not None:
+            self._par_ctx.close()
+
     def check(self, assumptions: Sequence[int] = ()) -> str:
-        res = self.sat.solve(assumptions)
+        if self._par_ctx is not None:
+            out = self._check_parallel(list(assumptions))
+            if out is not None:
+                return out
+        return self._finish_check(self.sat.solve(assumptions))
+
+    def _finish_check(self, res: bool) -> str:
+        """Certificate handling shared by the sequential and parallel
+        paths; ``res`` is the parent solver's own verdict."""
         self._last_result = "sat" if res else "unsat"
         if self.validate:
             self._replay_proof()
@@ -149,14 +190,72 @@ class Solver:
                 self.certificates["unsat_checked"] += 1
         return self._last_result
 
+    def _check_parallel(self, assumptions: list[int]) -> str | None:
+        """Try to decide the query with the parallel subsystem.
+
+        Returns the verdict string, or None when the query was not
+        admitted (too small) — the caller then runs the ordinary
+        sequential path.  Admitted queries first run a sequential probe
+        with a conflict budget; only still-open ("hard") queries pay the
+        worker fork cost.
+        """
+        ctx = self._par_ctx
+        cfg = ctx.cfg
+        if ctx._nworkers < 2:
+            return None  # single-slot budget: parallelism disabled
+        if len(self.sat._clauses) + len(self.sat._learnts) < cfg.min_clauses:
+            return None
+        probe = self.sat.solve_limited(assumptions, cfg.probe_conflicts)
+        if probe is not None:
+            ctx.probe_decided += 1
+            return self._finish_check(probe)
+        ctx.parallel_queries += 1
+        outcome = ctx.race(self.sat, list(assumptions))
+        if outcome is None:
+            # No worker could answer (all crashed/desynced/timed out):
+            # finish sequentially — correctness never depends on workers.
+            ctx.fallbacks += 1
+            return self._finish_check(self.sat.solve(assumptions))
+        kind, payload = outcome
+        if kind == "sat":
+            # Adopt the winner's model as branching phases and re-solve
+            # sequentially: decisions then follow a genuine model, so the
+            # parent converges almost conflict-free and ends holding its
+            # *own* model (witness extraction reads parent state), with
+            # the sequential trust story intact.
+            for lit in payload.get("model", ()):
+                v = abs(lit)
+                if v <= self.sat.nvars:
+                    self.sat._phase[v] = lit > 0
+            return self._finish_check(self.sat.solve(assumptions))
+        # unsat: adopt the worker's verdict and core directly.  The core
+        # is valid for the parent because the clause database is a replica
+        # and learnt clauses are consequences of the database alone.  The
+        # winning worker validated its own DRUP certificate inline (same
+        # machinery as sequential validate mode) before answering.
+        core = [l for l in payload.get("core", ())]
+        self.sat.core = sorted(set(core), key=abs)
+        self._last_result = "unsat"
+        if self.validate:
+            # Keep the incremental parent checker in sync with the proof
+            # steps the admission probe produced (they are RUP and final-
+            # step-free; the worker's own log carried the final clause).
+            self._replay_proof(require_final=False)
+            certs = payload.get("certificates") or {}
+            self.certificates["unsat_checked"] += 1
+            self.certificates["proof_steps"] += certs.get("proof_steps", 0)
+        return self._last_result
+
     # ------------------------------------------------------------------
     # certificates (validate mode)
     # ------------------------------------------------------------------
 
-    def _replay_proof(self) -> None:
+    def _replay_proof(self, require_final: bool = True) -> None:
         """Feed the proof-log suffix since the previous check into the
         standalone checker.  Each learnt clause is verified RUP; an UNSAT
-        answer additionally ends in a verified final clause."""
+        answer additionally ends in a verified final clause
+        (``require_final=False`` skips that terminal demand — used when a
+        parallel worker, not the parent log, carried the final clause)."""
         from .proofcheck import ProofError
         log = self.sat.proof
         steps = log.steps
@@ -170,7 +269,7 @@ class Solver:
                     f"{self._proof_pos}: {exc}") from None
             self._proof_pos += 1
             self.certificates["proof_steps"] += 1
-        if self._last_result == "unsat":
+        if self._last_result == "unsat" and require_final:
             if not steps or steps[-1][0] != "f":
                 raise CertificateError(
                     "unsat answer carries no final proof clause")

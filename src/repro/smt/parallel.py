@@ -1,0 +1,822 @@
+"""Intra-query parallel solving: portfolio + cube-and-conquer workers.
+
+One hard SMT query is raced across worker *processes*, each holding a
+replica of the incremental solver state.  Three ideas make this sound
+and cheap for the solver architecture of this repo:
+
+**Operation-log replay.**  All solver state flows through the public
+mutators of :class:`repro.smt.api.Solver` (``add``, ``add_guarded``,
+``lit_for``, ``new_indicator``, ``add_clause_lits``).  The parent
+records that operation stream (terms serialized structurally, see the
+codec below) and each worker replays it against a fresh
+``TermFactory``/``Solver``.  CNF conversion is deterministic given the
+op stream, so every worker allocates SAT variables in the same order.
+
+**Variable mapping.**  Absolute variable ids still drift, because both
+sides also create variables *outside* the op log (theory plugins
+register interface atoms mid-search, and the tseitin memo may hit such
+a search-local atom while replaying an op).  So positional/count-based
+correspondence is unreliable; instead, the map contains exactly the
+literals that cross the api.Solver surface: each ``lit_for`` /
+``new_indicator`` op ships the parent's returned literal and the worker
+binds it to its own result for the same op.  Those literals are the
+only ones a caller can ever hold, hence the only ones appearing in
+assumptions, cubes, unsat cores, model prefixes — all translated
+through the map — and anything touching an unmapped (internal)
+variable is simply never shared, so a worker's private tseitin or
+theory-atom variables can never be confused with another solver's.
+
+**Trusted clause import.**  A learnt clause is a consequence of the
+clause database alone (never of the assumptions), so workers may
+exchange their short/low-LBD learnts freely — across portfolio members
+*and* cube workers.  An importer logs the foreign clause as a ``"t"``
+(trusted) proof step, exactly like a theory lemma; its own DRUP
+certificate stays replayable.  The *winning* worker's certificate is
+validated inside that worker by the same inline
+:class:`~repro.smt.proofcheck.DrupChecker` machinery used sequentially.
+
+The parent acts as the clause-sharing hub: workers export over their
+own duplex pipe and the parent rebroadcasts, so no lock is shared
+between workers and killing a loser mid-solve cannot corrupt the
+channel.  A worker that crashes or desyncs is dropped (and respawned
+lazily for the next query); if every worker is lost the caller falls
+back to the ordinary sequential solve.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+
+from .sat.cnf import var_of
+from .sat.solver import ShareChannel, SolveCancelled
+from .terms import Op, Sort, Term, TermFactory
+
+_MP = multiprocessing.get_context("spawn")
+
+#: Fresh-variable namespace offset for worker factories: worker-side
+#: ``fresh_var`` names (ite purification etc.) must never collide with
+#: parent-side fresh names appearing in serialized terms.
+_FRESH_BASE = 10 ** 9
+
+#: Environment knob set by the serve pool so nested intra-query workers
+#: do not oversubscribe the machine (see repro.serve.pool).
+SLOTS_ENV = "REPRO_PARALLEL_SLOTS"
+
+
+def available_slots() -> int:
+    """CPU slots this process may use for intra-query workers."""
+    raw = os.environ.get(SLOTS_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs of the intra-query parallel mode (``--parallel-query``)."""
+
+    #: "auto" = baseline + cube pair + diversified portfolio;
+    #: "portfolio" = diversified full-query racers only;
+    #: "cubes" = cube-and-conquer split over the workers.
+    mode: str = "auto"
+    #: Worker count; None = derived from :func:`available_slots` (and
+    #: parallelism is disabled entirely on a single-slot budget).
+    workers: int | None = None
+    #: Admission probe: conflicts the sequential solver may spend before
+    #: the query is considered hard and escalated to the workers.
+    probe_conflicts: int = 2000
+    #: Admission floor: problems with fewer clauses than this never
+    #: escalate (the fork cost would dominate).
+    min_clauses: int = 150
+    #: Export filter: learnt clauses with LBD above this (and length
+    #: above 2) stay private.
+    share_max_lbd: int = 4
+    #: Conflicts+decisions between share-channel polls inside a worker.
+    poll_every: int = 128
+    #: Seconds to wait for any worker verdict before giving up and
+    #: falling back to the sequential solver (None = wait forever).
+    max_wait: float | None = None
+    #: Test hook: worker index -> "raise" | "hang", injected mid-solve.
+    test_fault: dict | None = None
+
+
+def parse_parallel_spec(spec: str | bool | None) -> ParallelConfig | None:
+    """Parse a ``--parallel-query`` argument: ``off``/None -> None,
+    ``auto``/``portfolio``/``cubes`` with an optional ``:N`` worker
+    count (``auto:4``)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return ParallelConfig()
+    text = str(spec).strip().lower()
+    if text in ("", "off", "none", "0", "false"):
+        return None
+    mode, _, count = text.partition(":")
+    if mode in ("on", "true", "1"):
+        mode = "auto"
+    if mode not in ("auto", "portfolio", "cubes"):
+        raise ValueError(f"unknown --parallel-query mode {mode!r} "
+                         "(expected auto, portfolio, cubes or off)")
+    workers = None
+    if count:
+        workers = int(count)
+        if workers < 2:
+            raise ValueError("--parallel-query needs at least 2 workers")
+    return ParallelConfig(mode=mode, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# structural term codec
+# ----------------------------------------------------------------------
+#
+# Terms are interned and carry factory-local ids, so they cannot be
+# pickled directly.  They are shipped as a shared post-order node table:
+# each node is (op name, payload, child indexes) and is sent exactly
+# once per worker context; later ops reference nodes by index.
+
+def _encode_payload(t: Term):
+    if t.op is Op.VAR or t.op is Op.APPLY:
+        return (t.payload[0], t.payload[1].value)
+    if t.op is Op.INTCONST:
+        return t.payload
+    return None
+
+
+class _TermEncoder:
+    """Parent-side incremental term-to-node-table encoder."""
+
+    def __init__(self) -> None:
+        self.nodes: list[tuple] = []
+        self._index: dict[int, int] = {}  # tid -> node index
+
+    def encode(self, t: Term) -> int:
+        """Index of ``t``, appending any nodes not yet in the table."""
+        hit = self._index.get(t.tid)
+        if hit is not None:
+            return hit
+        stack = [(t, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.tid in self._index:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for a in node.args:
+                    if a.tid not in self._index:
+                        stack.append((a, False))
+                continue
+            idx = len(self.nodes)
+            self.nodes.append((node.op.value, _encode_payload(node),
+                               tuple(self._index[a.tid] for a in node.args)))
+            self._index[node.tid] = idx
+        return self._index[t.tid]
+
+
+def _decode_nodes(factory: TermFactory, nodes: list[tuple],
+                  table: list[Term]) -> None:
+    """Append decoded terms for ``nodes`` onto ``table`` (worker side)."""
+    f = factory
+    builders = {
+        Op.ADD.value: f.add, Op.SUB.value: f.sub, Op.NEG.value: f.neg,
+        Op.MUL.value: f.mul, Op.ITE.value: f.ite, Op.SELECT.value: f.select,
+        Op.STORE.value: f.store, Op.EQ.value: f.eq, Op.LE.value: f.le,
+        Op.LT.value: f.lt, Op.NOT.value: f.not_, Op.AND.value: f.and_,
+        Op.OR.value: f.or_, Op.IMPLIES.value: f.implies, Op.IFF.value: f.iff,
+    }
+    for op_name, payload, child_idx in nodes:
+        if op_name == Op.VAR.value:
+            t = f.var(payload[0], Sort(payload[1]))
+        elif op_name == Op.INTCONST.value:
+            t = f.intconst(payload)
+        elif op_name == Op.TRUE.value:
+            t = f.true
+        elif op_name == Op.FALSE.value:
+            t = f.false
+        elif op_name == Op.APPLY.value:
+            t = f.apply(payload[0], [table[i] for i in child_idx],
+                        Sort(payload[1]))
+        else:
+            t = builders[op_name](*[table[i] for i in child_idx])
+        table.append(t)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+class _Desync(Exception):
+    """Replay diverged from the parent's recorded allocations."""
+
+
+class _WorkerShare(ShareChannel):
+    """Clause import/export + cancellation over the worker's pipe."""
+
+    def __init__(self, conn, job_id: int, p2w: dict[int, int],
+                 w2p: dict[int, int], cfg_max_lbd: int, poll_every: int,
+                 fault: str | None):
+        self.conn = conn
+        self.job_id = job_id
+        self.p2w = p2w
+        self.w2p = w2p
+        self.max_lbd = cfg_max_lbd
+        self.poll_every = poll_every
+        self._ready: list[list[int]] = []  # translated, worker ids
+        self._out: list[list[int]] = []    # translated, parent ids
+        self._fault = fault
+        self._pulses = 0
+
+    def _translate_out(self, lits) -> list[int] | None:
+        out = []
+        for lit in lits:
+            w = self.w2p.get(var_of(lit))
+            if w is None:
+                return None  # touches a search-local variable: private
+            out.append(w if lit > 0 else -w)
+        return out
+
+    def export(self, lits, lbd) -> bool:
+        out = self._translate_out(lits)
+        if out is None:
+            return False
+        self._out.append(out)
+        if len(self._out) >= 16:
+            self.flush()
+        return True
+
+    def flush(self) -> None:
+        if self._out:
+            self.conn.send(("export", self.job_id, self._out))
+            self._out = []
+
+    def heartbeat(self) -> None:
+        """Cancellation-only poll, safe to call from inside a theory
+        check (no clause integration happens here)."""
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.conn.poll(0):
+            msg = self.conn.recv()
+            kind = msg[0]
+            if kind == "cancel" and msg[1] == self.job_id:
+                raise SolveCancelled()
+            if kind == "clauses" and msg[1] == self.job_id:
+                for cl in msg[2]:
+                    tr = [((self.p2w[var_of(l)]) if l > 0
+                           else -(self.p2w[var_of(l)]))
+                          for l in cl if var_of(l) in self.p2w]
+                    if len(tr) == len(cl):
+                        self._ready.append(tr)
+            # anything else (stale job traffic) is dropped
+
+    def pulse(self) -> list[list[int]]:
+        self.flush()
+        self._drain()
+        self._pulses += 1
+        if self._fault == "raise" and self._pulses >= 3:
+            raise RuntimeError("injected worker fault")
+        if self._fault == "hang" and self._pulses >= 3:
+            while True:
+                time.sleep(0.05)
+                self._drain()  # stays cancellable
+        out, self._ready = self._ready, []
+        return out
+
+    def requeue(self, clauses) -> None:
+        self._ready = clauses + self._ready
+
+
+def _worker_entry(conn, worker_id: int, preset: dict, validate: bool,
+                  lia_budget: int, test_fault: str | None) -> None:
+    """Entry point of one portfolio/cube worker process."""
+    try:
+        _worker_loop(conn, worker_id, preset, validate, lia_budget,
+                     test_fault)
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _worker_loop(conn, worker_id, preset, validate, lia_budget,
+                 test_fault) -> None:
+    from .api import CertificateError, Solver
+    from .tuning import TUNING
+
+    for k, v in preset.items():
+        setattr(TUNING, k, v)
+    factory = TermFactory()
+    factory._fresh_counter = itertools.count(_FRESH_BASE)
+    solver = Solver(factory, lia_budget=lia_budget, validate=validate)
+    table: list[Term] = []
+    p2w: dict[int, int] = {}
+    w2p: dict[int, int] = {}
+
+    def xlat_in(lit: int) -> int:
+        v = p2w.get(var_of(lit))
+        if v is None:
+            raise _Desync(f"unmapped parent literal {lit}")
+        return v if lit > 0 else -v
+
+    def xlat_out(lit: int) -> int:
+        v = w2p.get(var_of(lit))
+        if v is None:
+            raise _Desync(f"unmapped worker literal {lit}")
+        return v if lit > 0 else -v
+
+    def bind(p_lit: int, w_lit: int, what: str) -> None:
+        """Identity-map one API-crossing literal pair.
+
+        Only literals returned through the api.Solver surface are ever
+        exchanged across the process boundary (assumptions, cores,
+        models, shared clauses are all built from them), so the var map
+        contains exactly those — never positional guesses about
+        internal tseitin or search-local theory-atom allocations, which
+        legitimately differ between parent and worker.
+        """
+        if (p_lit > 0) != (w_lit > 0):
+            raise _Desync(f"{what} polarity diverged")
+        pv, wv = var_of(p_lit), var_of(w_lit)
+        if p2w.get(pv, wv) != wv or w2p.get(wv, pv) != pv:
+            raise _Desync(f"{what} mapping conflict")
+        p2w[pv] = wv
+        w2p[wv] = pv
+
+    def replay(op) -> None:
+        kind = op[0]
+        if kind == "add":
+            solver.add(table[op[1]])
+        elif kind == "guard":
+            solver.add_guarded(xlat_in(op[1]), table[op[2]])
+        elif kind == "lit":
+            bind(op[2], solver.lit_for(table[op[1]]), "lit_for")
+        elif kind == "ind":
+            bind(op[1], solver.new_indicator(), "new_indicator")
+        elif kind == "raw":
+            solver.add_clause_lits([xlat_in(l) for l in op[1]])
+        else:
+            raise _Desync(f"unknown op {kind!r}")
+
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "nodes":
+            _decode_nodes(factory, msg[1], table)
+            continue
+        if kind == "ops":
+            try:
+                for op in msg[1]:
+                    replay(op)
+            except _Desync as exc:
+                conn.send(("bye", worker_id, str(exc)))
+                return
+            continue
+        if kind in ("clauses", "cancel"):
+            continue  # stale traffic from a finished job
+        if kind != "solve":
+            conn.send(("bye", worker_id, f"unexpected message {kind!r}"))
+            return
+        _, job_id, assumptions_p, cube_p, share_max_lbd, poll_every = msg
+        share = _WorkerShare(conn, job_id, p2w, w2p, share_max_lbd,
+                             poll_every, test_fault)
+        solver.sat.share = share
+        solver.theory.poll = share.heartbeat
+        payload: dict = {}
+        try:
+            assum = [xlat_in(l) for l in assumptions_p]
+            cube = [xlat_in(l) for l in cube_p]
+            verdict = solver.check(assum + cube)
+            if verdict == "sat":
+                model = []
+                for wv, pv in w2p.items():
+                    val = solver.sat._assign[wv]
+                    if val is True:
+                        model.append(pv)
+                    elif val is False:
+                        model.append(-pv)
+                payload["model"] = model
+            else:
+                cube_set = set(cube)
+                payload["core"] = [xlat_out(l) for l in solver.sat.core
+                                   if l not in cube_set]
+            payload["stats"] = solver.stats()
+            payload["certificates"] = dict(solver.certificates)
+            result = ("result", job_id, verdict, payload)
+        except SolveCancelled:
+            result = ("result", job_id, "cancelled", None)
+        except CertificateError as exc:
+            result = ("result", job_id, "cert_fail", str(exc))
+        except _Desync as exc:
+            conn.send(("bye", worker_id, str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 — reported to the parent
+            result = ("result", job_id, "error",
+                      {"type": type(exc).__name__, "message": str(exc)})
+        finally:
+            solver.sat.share = None
+            solver.theory.poll = None
+        share.flush()
+        conn.send(result)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+class _Worker:
+    __slots__ = ("proc", "conn", "preset_name", "index", "alive",
+                 "nodes_sent", "ops_sent", "cube", "busy")
+
+    def __init__(self, index: int, preset_name: str):
+        self.index = index
+        self.preset_name = preset_name
+        self.proc = None
+        self.conn = None
+        self.alive = False
+        self.nodes_sent = 0
+        self.ops_sent = 0
+        self.cube: list[int] | None = None
+        self.busy = False
+
+
+class ParallelContext:
+    """Parent-side orchestration of one solver's worker fleet.
+
+    Owned by one :class:`repro.smt.api.Solver`; records the operation
+    log, lazily spawns workers on the first admitted query, and
+    arbitrates race results.  All public literals/variables exchanged
+    with the caller are in *parent* ids.
+    """
+
+    def __init__(self, cfg: ParallelConfig, validate: bool,
+                 lia_budget: int):
+        from .tuning import preset_names
+        self.cfg = cfg
+        self.validate = validate
+        self.lia_budget = lia_budget
+        self._enc = _TermEncoder()
+        self._ops: list[tuple] = []
+        self._op_vars: set[int] = set()
+        self._presets = preset_names()
+        n = cfg.workers
+        if n is None:
+            slots = available_slots()
+            n = 0 if slots <= 1 else min(4, max(2, slots))
+        self._nworkers = n
+        self.workers: list[_Worker] = []
+        self._job_counter = 0
+        self.worker_errors: list[str] = []
+        # perf counters (merged into Solver.stats())
+        self.parallel_queries = 0
+        self.probe_decided = 0
+        self.fallbacks = 0
+        self.cubes_split = 0
+        self.portfolio_winner = 0
+        self.cube_winner = 0
+        self.baseline_winner = 0
+        self.clauses_shared = 0
+        self.clauses_imported = 0
+        self.worker_crashes = 0
+        self.worker_respawns = 0
+
+    # -- op recording ---------------------------------------------------
+
+    def record(self, kind: str, term: Term | None = None,
+               lits=None, expect: int | None = None) -> None:
+        if kind == "add":
+            op = ("add", self._enc.encode(term))
+        elif kind == "guard":
+            op = ("guard", expect, self._enc.encode(term))
+        elif kind == "lit":
+            op = ("lit", self._enc.encode(term), expect)
+            self._op_vars.add(var_of(expect))
+        elif kind == "ind":
+            op = ("ind", expect)
+            self._op_vars.add(var_of(expect))
+        elif kind == "raw":
+            op = ("raw", tuple(lits))
+        else:
+            raise ValueError(kind)
+        self._ops.append(op)
+
+    # -- worker lifecycle -----------------------------------------------
+
+    def _spawn(self, w: _Worker) -> None:
+        parent_conn, child_conn = _MP.Pipe()
+        fault = None
+        if self.cfg.test_fault:
+            fault = self.cfg.test_fault.get(w.index)
+        preset = {}
+        if self._presets:
+            from .tuning import get_preset
+            preset = get_preset(self._presets[w.index % len(self._presets)])
+        proc = _MP.Process(
+            target=_worker_entry,
+            args=(child_conn, w.index, preset, self.validate,
+                  self.lia_budget, fault),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        w.proc, w.conn = proc, parent_conn
+        w.alive = True
+        w.nodes_sent = 0
+        w.ops_sent = 0
+
+    def _send(self, w: _Worker, msg) -> bool:
+        try:
+            w.conn.send(msg)
+            return True
+        except (OSError, BrokenPipeError, ValueError):
+            self._drop(w, "send failed")
+            return False
+
+    def _drop(self, w: _Worker, why: str) -> None:
+        if w.alive:
+            self.worker_crashes += 1
+            self.worker_errors.append(f"worker {w.index}: {why}")
+        w.alive = False
+        w.busy = False
+        if w.proc is not None and w.proc.is_alive():
+            w.proc.kill()
+        if w.proc is not None:
+            w.proc.join(timeout=2.0)
+        if w.conn is not None:
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+        w.conn = None
+
+    def _sync_workers(self) -> list[_Worker]:
+        """Spawn/respawn workers and push the op-log backlog; returns the
+        live set."""
+        if not self.workers:
+            self.workers = [
+                _Worker(i, self._presets[i % len(self._presets)]
+                        if self._presets else "baseline")
+                for i in range(self._nworkers)]
+        live = []
+        for w in self.workers:
+            if not w.alive or w.proc is None or not w.proc.is_alive():
+                if w.proc is not None:
+                    self.worker_respawns += 1
+                    self._drop(w, "found dead")
+                self._spawn(w)
+            if w.nodes_sent < len(self._enc.nodes):
+                if not self._send(
+                        w, ("nodes", self._enc.nodes[w.nodes_sent:])):
+                    continue
+                w.nodes_sent = len(self._enc.nodes)
+            if w.ops_sent < len(self._ops):
+                if not self._send(w, ("ops", self._ops[w.ops_sent:])):
+                    continue
+                w.ops_sent = len(self._ops)
+            live.append(w)
+        return live
+
+    def close(self) -> None:
+        """Terminate every worker process (used by tests; daemon workers
+        also die with the parent)."""
+        for w in self.workers:
+            if w.alive:
+                try:
+                    w.conn.send(("stop",))
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+            w.alive = False  # a deliberate close is not a crash
+            self._drop(w, "closed")
+        self.workers = []
+
+    # -- race orchestration ---------------------------------------------
+
+    def _pick_split_var(self, sat, assumed: set[int]) -> int | None:
+        """Highest-VSIDS-activity op-log variable that is unassigned and
+        not an assumption — the cube split point."""
+        from .sat.solver import UNASSIGNED
+        best, best_act = None, -1.0
+        for v in self._op_vars:
+            if v in assumed or v > sat.nvars:
+                continue
+            if sat._assign[v] is not UNASSIGNED:
+                continue
+            act = sat._activity[v]
+            if act > best_act or (act == best_act
+                                  and (best is None or v < best)):
+                best, best_act = v, act
+        return best
+
+    def _plan(self, live: list[_Worker], sat, assumptions: list[int]):
+        """Assign a cube (or None = full query) to every live worker."""
+        for w in live:
+            w.cube = None
+        mode = self.cfg.mode
+        if mode == "portfolio" or len(live) < 2:
+            return
+        assumed = {var_of(a) for a in assumptions}
+        v = self._pick_split_var(sat, assumed)
+        if v is None:
+            return
+        if mode == "cubes":
+            k = 1
+            while (1 << (k + 1)) <= len(live):
+                k += 1
+            split = [v]
+            seen = set(split) | assumed
+            while len(split) < k:
+                nxt = self._pick_split_var(
+                    sat, seen)
+                if nxt is None:
+                    break
+                split.append(nxt)
+                seen.add(nxt)
+            cubes = [[]]
+            for sv in split:
+                cubes = [c + [sv] for c in cubes] + [c + [-sv] for c in cubes]
+            for i, cube in enumerate(cubes):
+                live[i % len(live)].cube = cube
+            self.cubes_split += len(cubes)
+        else:  # auto: worker 0 full baseline, workers 1-2 a cube pair
+            if len(live) >= 3:
+                live[1].cube = [v]
+                live[2].cube = [-v]
+                self.cubes_split += 2
+
+    def race(self, sat, assumptions: list[int]):
+        """Race one hard query.  Returns ``("sat", payload)``,
+        ``("unsat", payload)`` (payload["core"] in parent ids, cube lits
+        stripped), or ``None`` to fall back to the sequential solver.
+        Raises :class:`repro.smt.api.CertificateError` if a winning
+        worker's certificate was rejected."""
+        live = self._sync_workers()
+        live = [w for w in live if w.alive]
+        if len(live) < 2:
+            return None
+        self._job_counter += 1
+        job = self._job_counter
+        self._plan(live, sat, assumptions)
+        # cube workers whose twin is missing could make unsat undecidable
+        # by cubes; that's fine — sat is still decided by any worker.
+        for w in live:
+            if self._send(w, ("solve", job, list(assumptions),
+                              list(w.cube or []), self.cfg.share_max_lbd,
+                              self.cfg.poll_every)):
+                w.busy = True
+        outcome = self._arbitrate(job, [w for w in live if w.busy])
+        return outcome
+
+    def _arbitrate(self, job: int, racers: list[_Worker]):
+        cube_results: dict[int, dict] = {}  # worker index -> unsat payload
+        cube_total = sum(1 for w in racers if w.cube is not None)
+        deadline = (time.monotonic() + self.cfg.max_wait
+                    if self.cfg.max_wait else None)
+        winner = None  # (kind, payload, worker)
+        cert_fail: str | None = None
+        while winner is None and cert_fail is None:
+            busy = [w for w in racers if w.busy and w.alive]
+            if not busy:
+                break
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            ready = _conn_wait([w.conn for w in busy], timeout)
+            if not ready:  # deadline expired
+                break
+            for w in busy:
+                if w.conn not in ready:
+                    continue
+                try:
+                    msg = w.conn.recv()
+                except (EOFError, OSError):
+                    self._drop(w, "pipe closed mid-solve")
+                    continue
+                kind = msg[0]
+                if kind == "bye":
+                    self._drop(w, msg[2])
+                    continue
+                if kind == "export":
+                    clauses = msg[2]
+                    self.clauses_shared += len(clauses)
+                    for other in racers:
+                        if other is not w and other.busy and other.alive:
+                            self._send(other, ("clauses", job, clauses))
+                    continue
+                if kind != "result" or msg[1] != job:
+                    continue
+                verdict, payload = msg[2], msg[3]
+                w.busy = False
+                if verdict == "cert_fail":
+                    cert_fail = payload
+                    break
+                if verdict == "error":
+                    self.worker_errors.append(
+                        f"worker {w.index}: {payload['type']}: "
+                        f"{payload['message']}")
+                    continue
+                if verdict == "cancelled":
+                    continue
+                self._absorb_stats(payload)
+                if verdict == "sat":
+                    winner = ("sat", payload, w)
+                    break
+                # unsat
+                if w.cube is None:
+                    winner = ("unsat", payload, w)
+                    break
+                cube_results[w.index] = payload
+                if cube_total and len(cube_results) == cube_total:
+                    merged = self._merge_cube_unsat(cube_results, racers)
+                    winner = ("unsat", merged, None)
+                    break
+        self._settle(job, racers)
+        if cert_fail is not None:
+            from .api import CertificateError
+            raise CertificateError(
+                f"parallel worker certificate rejected: {cert_fail}")
+        if winner is None:
+            return None
+        kind, payload, w = winner
+        if w is None:
+            self.cube_winner += 1
+        elif w.cube is not None:
+            self.cube_winner += 1
+        elif w.index == 0:
+            self.baseline_winner += 1
+        else:
+            self.portfolio_winner += 1
+        return kind, payload
+
+    def _merge_cube_unsat(self, cube_results: dict[int, dict],
+                          racers: list[_Worker]) -> dict:
+        """All cubes refuted: the union of the assumption parts of the
+        per-cube cores is an unsat core of the original query."""
+        core: set[int] = set()
+        stats: dict = {}
+        certs = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
+        for payload in cube_results.values():
+            core.update(payload.get("core", ()))
+            for k, v in (payload.get("certificates") or {}).items():
+                certs[k] = certs.get(k, 0) + v
+        return {"core": sorted(core, key=abs), "stats": stats,
+                "certificates": certs}
+
+    def _absorb_stats(self, payload: dict) -> None:
+        stats = payload.get("stats") or {}
+        self.clauses_imported += stats.get("clauses_imported", 0)
+
+    def _settle(self, job: int, racers: list[_Worker]) -> None:
+        """Cancel still-busy workers and wait until each is idle again,
+        so the next query starts on a clean channel."""
+        for w in racers:
+            if w.busy and w.alive:
+                self._send(w, ("cancel", job))
+        deadline = time.monotonic() + 5.0
+        for w in racers:
+            while w.busy and w.alive:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    self._drop(w, "did not acknowledge cancellation")
+                    break
+                if not w.conn.poll(timeout):
+                    self._drop(w, "did not acknowledge cancellation")
+                    break
+                try:
+                    msg = w.conn.recv()
+                except (EOFError, OSError):
+                    self._drop(w, "pipe closed during cancellation")
+                    break
+                if msg[0] == "bye":
+                    self._drop(w, msg[2])
+                elif msg[0] == "result" and msg[1] == job:
+                    if msg[2] == "unsat" or msg[2] == "sat":
+                        self._absorb_stats(msg[3])
+                    w.busy = False
+                # exports/stale traffic during drain are dropped
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "parallel_queries": self.parallel_queries,
+            "parallel_probe_decided": self.probe_decided,
+            "parallel_fallbacks": self.fallbacks,
+            "cubes_split": self.cubes_split,
+            "portfolio_winner": self.portfolio_winner,
+            "cube_winner": self.cube_winner,
+            "baseline_winner": self.baseline_winner,
+            "clauses_shared": self.clauses_shared,
+            "clauses_imported": self.clauses_imported,
+            "parallel_worker_crashes": self.worker_crashes,
+            "parallel_worker_respawns": self.worker_respawns,
+        }

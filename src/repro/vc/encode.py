@@ -86,7 +86,8 @@ class EncodedProcedure:
     """The queryable encoding of one prepared procedure."""
 
     def __init__(self, program: Program, proc: Procedure,
-                 lia_budget: int = 20000, self_check: bool = False):
+                 lia_budget: int = 20000, self_check: bool = False,
+                 parallel=None):
         if proc.body is None:
             raise ValueError(f"procedure {proc.name} has no body")
         self.program = program
@@ -96,8 +97,10 @@ class EncodedProcedure:
         # must carry a checker-accepted DRUP proof, every sat answer a
         # model satisfying all enabled assertions (CertificateError else).
         self.self_check = self_check
+        # parallel (a repro.smt.parallel.ParallelConfig or None) turns on
+        # the intra-query portfolio/cube race for hard queries.
         self.solver = Solver(self.factory, lia_budget=lia_budget,
-                             validate=self_check)
+                             validate=self_check, parallel=parallel)
         self.entry_env: dict[str, Term] = {}
         self.assert_events: list[AssertEvent] = []
         self.loc_events: list[LocEvent] = []
@@ -358,11 +361,11 @@ class EncodedProcedure:
         if not fails:
             self._vc_lit = -self.solver.lit_for(self.factory.true)
             return self._vc_lit
-        # build an OR over the fail literals at the SAT level
-        v = self.solver.sat.new_var()
-        self.solver.sat._backjump(0)
+        # build an OR over the fail literals at the SAT level; routed
+        # through the Solver facade so the parallel op log stays complete
+        v = self.solver.new_indicator()
         for lit in fails:
-            self.solver.sat.add_clause([v, -lit])
-        self.solver.sat.add_clause([-v] + fails)
+            self.solver.add_clause_lits([v, -lit])
+        self.solver.add_clause_lits([-v] + fails)
         self._vc_lit = v
         return v

@@ -1,0 +1,101 @@
+"""`--parallel-query` is a pure performance knob: the same analysis with
+the flag on and off (and across repeated parallel runs, which may have
+different race winners) must produce byte-identical reports, and every
+certificate produced under the parallel mode must still be accepted.
+
+Worker processes are real, so the corpus slice here is small and the
+fleet stays at 2 workers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import run
+from repro.core.analysis import analyze_program, program_report_to_json
+from repro.core.deadfail import clear_baseline_cache
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import typecheck
+from repro.smt.parallel import ParallelConfig
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parent.parent / "corpus").glob("*.bpl"))
+
+#: everything races: no admission floor, zero-budget probe
+RACE_ALL = ParallelConfig(workers=2, probe_conflicts=0, min_clauses=0)
+
+#: wall-clock / machine-local report fields that legitimately differ
+#: between runs (certificates counts proof *steps*, which depend on the
+#: search path and the race winner)
+_VOLATILE = {"seconds", "phases", "budget_remaining", "solver_stats",
+             "queries", "cache_hits", "queries_saved", "certificates"}
+
+
+def _report_bytes(program, parallel) -> bytes:
+    clear_baseline_cache()
+    rep = analyze_program(program, timeout=None, max_preds=5,
+                          parallel=parallel, self_check=True)
+    data = program_report_to_json(rep)
+    for rd in data["reports"]:
+        for key in _VOLATILE:
+            rd.pop(key, None)
+    return json.dumps(data, sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("path", CORPUS[:3], ids=lambda p: p.stem)
+def test_parallel_reports_are_byte_identical_to_sequential(path):
+    program = typecheck(parse_program(path.read_text()))
+    sequential = _report_bytes(program, None)
+    # repeated parallel runs may crown different winners; the report
+    # bytes must not move, and self_check above demands every
+    # certificate (worker-produced included) is accepted
+    assert _report_bytes(program, RACE_ALL) == sequential
+    assert _report_bytes(program, RACE_ALL) == sequential
+
+
+def test_parallel_cli_output_is_byte_identical(tmp_path):
+    src = """
+var Freed: [int]int;
+procedure Foo(c: int, buf: int, cmd: int) modifies Freed;
+{
+  if (*) {
+    A1: assert Freed[c] == 0;  Freed[c] := 1;
+    A2: assert Freed[buf] == 0; Freed[buf] := 1;
+    return;
+  }
+  if (cmd == 0) {
+    if (*) {
+      A3: assert Freed[c] == 0;  Freed[c] := 1;
+      A4: assert Freed[buf] == 0; Freed[buf] := 1;
+    }
+  }
+  A5: assert Freed[c] == 0;  Freed[c] := 1;
+  A6: assert Freed[buf] == 0; Freed[buf] := 1;
+}
+"""
+    p = tmp_path / "fig1.bpl"
+    p.write_text(src)
+
+    def run_cli(*extra):
+        clear_baseline_cache()
+        out = io.StringIO()
+        # generous budget: worker-fleet spawns cost seconds on a loaded
+        # machine and must not tip either arm into TIMEOUT rows
+        code = run([*extra, "--self-check", "--timeout", "120", str(p)],
+                   out=out)
+        return code, out.getvalue()
+
+    code_seq, text_seq = run_cli()
+    code_par, text_par = run_cli("--parallel-query", "auto:2")
+    assert (code_par, text_par) == (code_seq, text_seq)
+    assert "WARNING" in text_seq
+
+
+def test_cli_rejects_bad_parallel_spec(tmp_path):
+    p = tmp_path / "t.bpl"
+    p.write_text("procedure P(x: int) { A: assert x != 0; }")
+    assert run(["--parallel-query", "bogus", str(p)], out=io.StringIO()) == 2

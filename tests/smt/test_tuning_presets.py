@@ -1,0 +1,71 @@
+"""The tuning-preset registry: enumeration, copy semantics, unknown-knob
+rejection, and — the part a silent bug hid for a while — every preset
+field actually reaching the constructed SAT solver."""
+
+import pytest
+
+from repro.smt.sat.solver import SatSolver
+from repro.smt.tuning import (TUNING, get_preset, preset_names,
+                              register_preset, tuning)
+
+#: preset knob -> the SatSolver attribute it must land in
+_KNOB_TO_ATTR = {
+    "var_decay": "_var_decay",
+    "restart_base": "_restart_base",
+    "restart_luby": "_restart_luby",
+    "phase_default": "_phase_default",
+    "phase_saving": "_phase_saving",
+}
+
+
+def test_registry_enumerates_baseline_first():
+    names = preset_names()
+    assert names[0] == "baseline"
+    assert len(names) == len(set(names))
+    # enough diversity axes for a portfolio of 4+ workers
+    assert len(names) >= 5
+
+
+def test_baseline_preset_is_empty_override():
+    assert get_preset("baseline") == {}
+
+
+def test_get_preset_returns_a_copy():
+    before = get_preset("agile")
+    mutated = get_preset("agile")
+    mutated["var_decay"] = 0.123
+    assert get_preset("agile") == before
+
+
+def test_register_preset_rejects_unknown_knob():
+    with pytest.raises(TypeError, match="unknown tuning knob"):
+        register_preset("broken-preset", not_a_real_knob=1)
+    assert "broken-preset" not in preset_names()
+
+
+def test_presets_are_pairwise_distinct():
+    seen = {}
+    for name in preset_names():
+        key = tuple(sorted(get_preset(name).items()))
+        assert key not in seen, \
+            f"{name} duplicates {seen[key]} — no portfolio diversity"
+        seen[key] = name
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_every_preset_field_reaches_the_solver(name):
+    """Constructing a solver under a preset must honor every override —
+    a preset field the constructor ignores is silent non-diversity."""
+    overrides = get_preset(name)
+    with tuning(**overrides):
+        solver = SatSolver()
+        for knob, attr in _KNOB_TO_ATTR.items():
+            expected = overrides.get(knob, getattr(TUNING, knob))
+            assert getattr(solver, attr) == expected, \
+                f"preset {name!r}: {knob} not honored by SatSolver"
+
+
+def test_solver_defaults_match_tuning_defaults():
+    solver = SatSolver()
+    for knob, attr in _KNOB_TO_ATTR.items():
+        assert getattr(solver, attr) == getattr(TUNING, knob)

@@ -42,24 +42,67 @@ def _delta(old: float, new: float) -> str:
     return f"{(new - old) / old * 100.0:+5.1f}%"
 
 
+def _num(rec: dict, key: str) -> float:
+    """Counter lookup that tolerates keys missing from one side —
+    baseline files produced before a counter existed (or after a rename)
+    must diff, not KeyError."""
+    v = rec.get(key, 0)
+    return v if isinstance(v, (int, float)) else 0
+
+
 def _serve_row(name: str, old: dict, new: dict) -> str:
     """Serving records (BENCH_serve.json) carry latency aggregates
     instead of solver counters: throughput and p50/p99 deltas."""
-    ow, nw = old["wall_seconds"], new["wall_seconds"]
+    ow, nw = _num(old, "wall_seconds"), _num(new, "wall_seconds")
+    orps, nrps = _num(old, "throughput_rps"), _num(new, "throughput_rps")
     return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
-            f"  rps {old['throughput_rps']:>7.2f} ->"
-            f" {new['throughput_rps']:>7.2f}"
-            f" ({_delta(old['throughput_rps'], new['throughput_rps'])})"
-            f"  p50 {old['p50_ms']:>6.0f}ms -> {new['p50_ms']:>6.0f}ms"
-            f"  p99 {old['p99_ms']:>6.0f}ms -> {new['p99_ms']:>6.0f}ms")
+            f"  rps {orps:>7.2f} -> {nrps:>7.2f} ({_delta(orps, nrps)})"
+            f"  p50 {_num(old, 'p50_ms'):>6.0f}ms ->"
+            f" {_num(new, 'p50_ms'):>6.0f}ms"
+            f"  p99 {_num(old, 'p99_ms'):>6.0f}ms ->"
+            f" {_num(new, 'p99_ms'):>6.0f}ms")
 
 
 def _row(name: str, old: dict, new: dict) -> str:
-    ow, nw = old["wall_seconds"], new["wall_seconds"]
+    ow, nw = _num(old, "wall_seconds"), _num(new, "wall_seconds")
     return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
-            f"  queries {old['queries']:>5} -> {new['queries']:>5}"
-            f"  conflicts {old['conflicts']:>6} -> {new['conflicts']:>6}"
-            f"  props {old['propagations']:>8} -> {new['propagations']:>8}")
+            f"  queries {_num(old, 'queries'):>5} ->"
+            f" {_num(new, 'queries'):>5}"
+            f"  conflicts {_num(old, 'conflicts'):>6} ->"
+            f" {_num(new, 'conflicts'):>6}"
+            f"  props {_num(old, 'propagations'):>8} ->"
+            f" {_num(new, 'propagations'):>8}")
+
+
+def _solver_totals(section: dict) -> dict:
+    """Sum every numeric solver counter across a section's records —
+    the full counter vocabulary, not just the fixed _row columns."""
+    totals: dict = {}
+    suites = _suites(section)
+    records = list(suites.values()) if suites else [section]
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        solver = rec.get("solver")
+        if not isinstance(solver, dict):
+            continue
+        for key, v in solver.items():
+            if isinstance(v, (int, float)):
+                totals[key] = totals.get(key, 0) + v
+    return totals
+
+
+def _counter_drift(old: dict, new: dict, out) -> None:
+    """Report solver counters present on only one side: new counters
+    (e.g. a PR adding ``cubes_split``) print their value tagged
+    ``(new)``; counters that disappeared are flagged, since that is
+    usually a rename the baseline should be regenerated for."""
+    ot, nt = _solver_totals(old), _solver_totals(new)
+    for key in sorted(set(nt) - set(ot)):
+        print(f"    counter {key:<22} {nt[key]:>10} (new)", file=out)
+    for key in sorted(set(ot) - set(nt)):
+        print(f"    counter {key:<22} {ot[key]:>10} (gone from new run)",
+              file=out)
 
 
 def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
@@ -90,8 +133,9 @@ def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
         o = section_aggregate(old[section])
         n = section_aggregate(new[section])
         print(_row("TOTAL", o, n), file=out)
-        total_old += o["wall_seconds"]
-        total_new += n["wall_seconds"]
+        _counter_drift(old[section], new[section], out)
+        total_old += _num(o, "wall_seconds")
+        total_new += _num(n, "wall_seconds")
     print(f"overall wall: {total_old:.3f}s -> {total_new:.3f}s "
           f"({_delta(total_old, total_new)})", file=out)
     return total_old, total_new

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Before/after wall-clock for `--parallel-query` on the slowest
+fig8/fig9 procedures.
+
+Phase 1 sweeps the large-benchmark suites sequentially and ranks every
+procedure by analysis wall time.  Phase 2 re-analyzes the top-K slowest
+procedures twice from a cold solver — once sequential, once with
+intra-query parallel solving — and records both walls (plus the
+parallel counters: ``cubes_split``, ``portfolio_winner``,
+``clauses_imported``, ...) under the ``parallel_query`` section of
+``BENCH_perf.json``, where ``tools/bench_compare.py`` diffs them across
+runs.
+
+Verdicts are asserted identical between the two runs; ``--self-check``
+additionally demands accepted certificates from both.
+
+Usage::
+
+    python tools/parallel_bench.py [--scale 1.0] [--top 6]
+                                   [--parallel auto:3] [--probe 200]
+                                   [--self-check] [--no-emit]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="parallel_bench",
+        description="measure --parallel-query on the slowest fig8/fig9 "
+                    "procedures and record the walls in BENCH_perf.json")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="suite scale factor (default 1.0)")
+    ap.add_argument("--top", type=int, default=6,
+                    help="how many slowest procedures to re-measure "
+                         "(default 6)")
+    ap.add_argument("--parallel", default="auto:3", metavar="SPEC",
+                    help="parallel spec for the 'after' runs "
+                         "(default auto:3)")
+    ap.add_argument("--probe", type=int, default=200,
+                    help="admission probe conflict budget (default 200; "
+                         "the production default of 2000 is tuned for "
+                         "near-timeout queries)")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="per-procedure timeout in seconds (default 30)")
+    ap.add_argument("--self-check", action="store_true",
+                    help="certificate-check both runs")
+    ap.add_argument("--no-emit", action="store_true",
+                    help="print the comparison but do not touch "
+                         "BENCH_perf.json")
+    args = ap.parse_args(argv)
+
+    from _util import emit_json
+    from repro.bench import LARGE_SUITE_RECIPES, make_suite
+    from repro.bench.runner import compile_suite
+    from repro.core import analyze_procedure
+    from repro.core.analysis import analyze_program
+    from repro.core.deadfail import clear_baseline_cache
+    from repro.smt.parallel import parse_parallel_spec
+
+    try:
+        cfg = parse_parallel_spec(args.parallel)
+    except ValueError as exc:
+        print(f"error: --parallel: {exc}", file=sys.stderr)
+        return 2
+    if cfg is None:
+        print("error: --parallel must not be 'off'", file=sys.stderr)
+        return 2
+    cfg = replace(cfg, probe_conflicts=args.probe)
+
+    # phase 1: rank every large-suite procedure by sequential wall time
+    ranked = []  # (seconds, suite_name, proc_name, program)
+    for name in LARGE_SUITE_RECIPES:
+        suite = make_suite(name, scale=args.scale)
+        program = compile_suite(suite)
+        clear_baseline_cache()
+        report = analyze_program(program, timeout=args.timeout,
+                                 proc_names=[f.name for f in
+                                             suite.functions])
+        for r in report.reports:
+            ranked.append((r.seconds, name, r.proc_name, program))
+    ranked.sort(key=lambda t: -t[0])
+    top = ranked[:args.top]
+    print(f"slowest {len(top)} of {len(ranked)} procedures:")
+    for secs, sname, pname, _ in top:
+        print(f"  {sname}/{pname:<24} {secs:7.3f}s")
+
+    # phase 2: cold before/after measurement per slow procedure
+    payload = {"suites": {}, "parallel_spec": args.parallel,
+               "probe_conflicts": args.probe}
+    total_seq = total_par = 0.0
+    for _, sname, pname, program in top:
+        clear_baseline_cache()
+        t0 = time.monotonic()
+        seq = analyze_procedure(program, pname, timeout=args.timeout,
+                                self_check=args.self_check)
+        seq_wall = time.monotonic() - t0
+        clear_baseline_cache()
+        t0 = time.monotonic()
+        par = analyze_procedure(program, pname, timeout=args.timeout,
+                                self_check=args.self_check, parallel=cfg)
+        par_wall = time.monotonic() - t0
+        if (seq.status, seq.warnings, seq.specs) != \
+                (par.status, par.warnings, par.specs):
+            print(f"error: {sname}/{pname}: parallel verdict diverged",
+                  file=sys.stderr)
+            return 4
+        total_seq += seq_wall
+        total_par += par_wall
+        solver = {k: v for k, v in par.solver_stats.items()
+                  if isinstance(v, (int, float))}
+        payload["suites"][f"{sname}/{pname}"] = {
+            "wall_seconds": round(par_wall, 3),
+            "wall_seconds_sequential": round(seq_wall, 3),
+            "queries": par.queries,
+            "solver": solver,
+        }
+        delta = (par_wall - seq_wall) / seq_wall * 100 if seq_wall else 0.0
+        raced = solver.get("parallel_queries", 0)
+        print(f"  {sname}/{pname:<24} seq {seq_wall:7.3f}s -> "
+              f"par {par_wall:7.3f}s ({delta:+6.1f}%)  "
+              f"raced={raced} probe_decided="
+              f"{solver.get('parallel_probe_decided', 0)}")
+
+    payload["wall_seconds"] = round(total_par, 3)
+    payload["wall_seconds_sequential"] = round(total_seq, 3)
+    raced = sum(rec["solver"].get("parallel_queries", 0)
+                for rec in payload["suites"].values())
+    if raced == 0:
+        payload["note"] = ("all queries decided by the admission probe "
+                          "without forking; racing needs harder queries "
+                          "or a lower --probe budget")
+    if total_seq > 0:
+        print(f"total: seq {total_seq:.3f}s -> par {total_par:.3f}s "
+              f"({(total_par - total_seq) / total_seq * 100:+.1f}%)")
+    if not args.no_emit:
+        emit_json("parallel_query", payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

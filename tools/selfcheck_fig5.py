@@ -10,9 +10,15 @@ asserted formula evaluates true.  Any rejected certificate raises
 produced zero checked certificates also fails (exit 1) — it would mean
 validation silently did not happen.
 
+``--parallel SPEC`` runs the same sweep with intra-query parallel
+solving (``auto``/``portfolio``/``cubes``, optional ``:N``): the CI
+smoke uses it to witness that worker-produced certificates certify
+exactly like sequential ones.
+
 Usage::
 
     python tools/selfcheck_fig5.py [--scale 1.0] [--timeout 30]
+                                   [--parallel auto:2]
 """
 
 from __future__ import annotations
@@ -39,7 +45,20 @@ def main(argv: list[str] | None = None) -> int:
                     help="suite scale factor (default 1.0)")
     ap.add_argument("--timeout", type=float, default=30.0,
                     help="per-procedure timeout in seconds (default 30)")
+    ap.add_argument("--parallel", default=None, metavar="SPEC",
+                    help="run the sweep with --parallel-query style "
+                         "intra-query parallelism (auto|portfolio|"
+                         "cubes[:N]); certificates must still certify")
     args = ap.parse_args(argv)
+
+    parallel = None
+    if args.parallel is not None:
+        from repro.smt.parallel import parse_parallel_spec
+        try:
+            parallel = parse_parallel_spec(args.parallel)
+        except ValueError as exc:
+            print(f"error: --parallel: {exc}", file=sys.stderr)
+            return 2
 
     totals = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
     t0 = time.monotonic()
@@ -47,7 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         program = compile_c(suite.c_source)
         try:
             report = analyze_program(program, timeout=args.timeout,
-                                     self_check=True)
+                                     self_check=True, parallel=parallel)
             conservative_program(program, timeout=args.timeout,
                                  self_check=True)
         except CertificateError as exc:
