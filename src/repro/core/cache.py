@@ -178,6 +178,24 @@ class AnalysisCache:
             self.invalidations += 1
             return None
 
+    def peek(self, key: str) -> dict | None:
+        """The raw on-disk record for ``key``, or ``None`` — **no side
+        effects**: no hit/miss counting, no baseline seeding, no report
+        reconstruction.  This is the disk half of the fleet's
+        cross-shard cache peeking (`docs/fleet.md`): a replica answers
+        a neighbor's ``peek`` from here when its in-memory hot tier has
+        already evicted the key, and a probe on behalf of another shard
+        must not distort this shard's own cache statistics."""
+        path = self._path(key)
+        try:
+            rec = json.loads(path.read_bytes())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(rec, dict) or rec.get("schema") != SCHEMA_VERSION \
+                or rec.get("kind") not in ("analysis", "cons"):
+            return None
+        return rec
+
     def _write(self, key: str, rec: dict) -> None:
         """Atomic write-then-rename, so readers (including concurrent
         ``--jobs`` workers on the same directory) never observe a

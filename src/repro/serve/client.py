@@ -6,9 +6,15 @@ correct to reason about; open one client per thread for concurrency
 (the built-in lock only protects against accidental sharing).
 
 The client owns the retry side of the backpressure contract: a
-``submit`` rejected with ``overloaded`` is retried after the server's
-``retry_after`` hint (with a cap on attempts), so callers see either an
-accepted request id or a :class:`ServeError`.
+``submit`` rejected with ``overloaded`` is retried with **capped
+exponential backoff seeded by the server's ``retry_after`` hint**, plus
+a deterministic per-request jitter (:func:`retry_delay`).  A fixed
+delay would synchronize a fleet of rejected clients into retrying at
+the same instant — a thundering herd against a recovering replica;
+jittering off the request's own content spreads them out while staying
+reproducible (the same request retries on the same schedule every
+run).  Callers see either an accepted request id or a
+:class:`ServeError`.
 
 ``analyze()`` is the high-level entry point: submit + wait + rebuild a
 real :class:`~repro.core.analysis.ProgramReport`, bit-identical to what
@@ -17,12 +23,46 @@ the batch ``analyze_program`` returns for the same inputs.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import socket
 import threading
 import time
 
 from ..core.analysis import ProgramReport, program_report_from_json
 from .protocol import MAX_LINE, decode, encode, parse_address
+
+#: Upper bound on one backoff sleep, pre-jitter (seconds).
+BACKOFF_CAP = 5.0
+
+
+def retry_delay(token: str, attempt: int, hint: float,
+                cap: float = BACKOFF_CAP) -> float:
+    """One backoff sleep: capped exponential growth over the server's
+    ``retry_after`` hint, scaled by a deterministic per-request jitter.
+
+    ``attempt`` counts from 0; the exponential doubles the hint each
+    attempt up to ``cap``.  The jitter multiplies by a factor in
+    ``[0.5, 1.0)`` derived from SHA-256 of ``token:attempt`` — no
+    global randomness, so one request's schedule is reproducible, while
+    different requests (different tokens) land at different offsets
+    instead of stampeding a recovering server in lockstep.
+    """
+    base = min(cap, max(1e-3, hint) * (2 ** attempt))
+    digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+    frac = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return base * (0.5 + 0.5 * frac)
+
+
+def request_token(fields: dict) -> str:
+    """The jitter token of one submission: a digest of its content, so
+    twin requests from *different* clients still jitter identically
+    (they would coalesce anyway) while distinct requests spread out."""
+    try:
+        blob = json.dumps(fields, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        blob = repr(sorted(fields.items(), key=lambda kv: kv[0]))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class ServeError(RuntimeError):
@@ -39,10 +79,11 @@ class ServeClient:
     """See module docstring."""
 
     def __init__(self, address: str, *, connect_timeout: float = 30.0,
-                 submit_attempts: int = 40):
+                 submit_attempts: int = 40, backoff_cap: float = BACKOFF_CAP):
         self.address = parse_address(address)
         self.connect_timeout = connect_timeout
         self.submit_attempts = submit_attempts
+        self.backoff_cap = backoff_cap
         self._sock: socket.socket | None = None
         self._file = None
         self._lock = threading.Lock()
@@ -130,9 +171,10 @@ class ServeClient:
                max_preds: int = 12, lia_budget: int = 20000,
                self_check: bool = False, parallel: str | None = None,
                deadline: float | None = None) -> dict:
-        """Submit one program; honors ``overloaded`` backpressure by
-        sleeping the server's ``retry_after`` hint and retrying, up to
-        ``submit_attempts`` times."""
+        """Submit one program; honors ``overloaded`` backpressure with
+        capped exponential backoff over the server's ``retry_after``
+        hint, jittered deterministically per request
+        (:func:`retry_delay`), up to ``submit_attempts`` times."""
         fields = dict(source=source, lang=lang, kind=kind, config=config,
                       prune_k=prune_k, timeout=timeout, unroll=unroll,
                       max_preds=max_preds, lia_budget=lia_budget,
@@ -143,15 +185,18 @@ class ServeClient:
             fields["procs"] = procs
         if deadline is not None:
             fields["deadline"] = deadline
+        token = request_token(fields)
         last: ServeError | None = None
-        for _ in range(self.submit_attempts):
+        for attempt in range(self.submit_attempts):
             try:
                 return self.request("submit", **fields)
             except ServeError as exc:
                 if exc.code != "overloaded":
                     raise
                 last = exc
-                time.sleep(float(exc.response.get("retry_after", 0.1)))
+                hint = float(exc.response.get("retry_after", 0.1))
+                time.sleep(retry_delay(token, attempt, hint,
+                                       self.backoff_cap))
         raise last if last is not None else ServeError("overloaded")
 
     def status(self, request_id: str) -> dict:

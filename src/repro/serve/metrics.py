@@ -66,6 +66,7 @@ class LatencyHistogram:
             "max_ms": round(self.max_ms, 3),
             "p50_ms": self.quantile_ms(0.50),
             "p90_ms": self.quantile_ms(0.90),
+            "p95_ms": self.quantile_ms(0.95),
             "p99_ms": self.quantile_ms(0.99),
         }
 

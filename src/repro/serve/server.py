@@ -16,6 +16,16 @@ TCP socket.  What the frontend adds over the bare pool:
   re-running it; both requests then get bit-identical results, and
   later resubmissions hit the persistent cache inside the workers.
 
+* **Hot tier.**  With ``hot_bytes`` set, completed per-procedure
+  results are kept in a byte-bounded in-memory LRU
+  (`repro.serve.hotcache`) keyed on the same coalesce key: a repeat
+  submission is answered from the server process without touching a
+  worker, the disk cache, or the pool queue.  The ``peek`` verb exposes
+  the tier (hot first, then the local disk tier via
+  ``AnalysisCache.peek``) to *neighbor replicas*, and ``peers`` makes
+  this server probe its neighbors before computing a cold key — the
+  cross-shard half of the fleet's tiered cache (``docs/fleet.md``).
+
 * **Deadlines.**  A request-level deadline rides every task into the
   pool: expired-while-queued tasks never occupy a worker, and a task
   running past its deadline has its worker killed and restarted.  The
@@ -42,7 +52,9 @@ import time
 
 from ..core.analysis import failure_report, program_report_to_json
 from ..core.config import BY_NAME
-from ..core.tasks import AnalysisTask, coalesce_key
+from ..core.tasks import AnalysisTask, task_keys
+from .hotcache import (HotCache, record_from_cache_record, record_to_result,
+                       result_to_record)
 from .metrics import ServerMetrics
 from .pool import PoolClosedError, WorkerPool
 from .protocol import MAX_LINE, ProtocolError, decode, encode, error, ok
@@ -51,14 +63,17 @@ from .protocol import parse_address
 #: Completed requests kept for late ``status``/``result`` readers.
 MAX_FINISHED_REQUESTS = 4096
 
+#: How long a cold submission waits on neighbor ``peek`` probes before
+#: giving up and computing locally (seconds).
+PEEK_TIMEOUT = 0.5
+
 
 class _Flight:
     """One in-flight computation plus everyone waiting on it."""
 
-    __slots__ = ("future", "waiters")
+    __slots__ = ("waiters",)
 
-    def __init__(self, future):
-        self.future = future
+    def __init__(self):
         self.waiters: list[tuple[_Request, int]] = []
 
 
@@ -81,6 +96,7 @@ class _Request:
         self.report_json: dict | None = None
         self.n_failures = 0
         self.coalesced = 0
+        self.hot_hits = 0
 
 
 class AnalysisServer:
@@ -89,13 +105,19 @@ class AnalysisServer:
     def __init__(self, address: str, *, pool_size: int = 2,
                  queue_limit: int = 64, cache_dir: str | None = None,
                  default_deadline: float | None = None,
-                 coalesce: bool = True, pool: WorkerPool | None = None):
+                 coalesce: bool = True, pool: WorkerPool | None = None,
+                 hot_bytes: int = 0, peers: list[str] | None = None,
+                 peek_timeout: float = PEEK_TIMEOUT):
         self.address = parse_address(address)
         self.address_spec = address
         self.queue_limit = queue_limit
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.default_deadline = default_deadline
         self.coalesce = coalesce
+        self.hot_cache = HotCache(hot_bytes) if hot_bytes else None
+        self.peers = [p for p in (peers or []) if p != address]
+        self.peek_timeout = peek_timeout
+        self._peek_disk = None  # lazy AnalysisCache for answering peeks
         self.metrics = ServerMetrics()
         self.pool = pool or WorkerPool(pool_size, metrics=self.metrics)
         self._owns_pool = pool is None
@@ -108,6 +130,15 @@ class AnalysisServer:
         self._closed = asyncio.Event()
         self._draining = False
         self._loop: asyncio.AbstractEventLoop | None = None
+        # strong refs to fire-and-forget flight tasks: the event loop
+        # only holds weak ones, and a GC'd flight strands its waiters
+        self._flight_tasks: set[asyncio.Task] = set()
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.ensure_future(coro)
+        self._flight_tasks.add(task)
+        task.add_done_callback(self._flight_tasks.discard)
+        return task
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -225,6 +256,8 @@ class AnalysisServer:
             return await self._op_result(msg)
         if verb == "metrics":
             return ok(metrics=self.snapshot())
+        if verb == "peek":
+            return self._op_peek(msg)
         if verb == "drain":
             return await self._op_drain()
         return error("bad_request", f"unknown verb {verb!r}")
@@ -296,26 +329,30 @@ class AnalysisServer:
             self._requests.pop(oldest)
 
         for idx, task in enumerate(tasks):
-            key = await asyncio.to_thread(_safe_key, task)
+            key, cache_key = await asyncio.to_thread(_safe_keys, task)
+            if self.hot_cache is not None:
+                hot = self._hot_lookup(key)
+                if hot is not None:
+                    req.hot_hits += 1
+                    self.metrics.inc("hot_hits")
+                    self._deliver(req, idx, hot)
+                    continue
             flight = self._inflight.get(key) if self.coalesce else None
             if flight is not None:
                 flight.waiters.append((req, idx))
                 req.coalesced += 1
                 self.metrics.inc("coalesced_tasks")
                 continue
-            try:
-                future = self.pool.submit(task, deadline_seconds=deadline)
-            except PoolClosedError:
-                self._deliver(req, idx, _pool_closed_result(task))
-                continue
-            flight = _Flight(future)
+            flight = _Flight()
             flight.waiters.append((req, idx))
             self._inflight[key] = flight
-            asyncio.ensure_future(self._watch_flight(key, flight))
+            self._spawn(
+                self._run_flight(key, cache_key, flight, task, deadline))
         req.state = "running" if req.done < len(tasks) else "done"
         self.metrics.inc("requests_accepted")
         self.metrics.inc("procs_submitted", len(tasks))
-        return ok(id=req.id, procs=list(proc_names), coalesced=req.coalesced)
+        return ok(id=req.id, procs=list(proc_names),
+                  coalesced=req.coalesced, hot=req.hot_hits)
 
     def _op_status(self, msg: dict) -> dict:
         req = self._requests.get(str(msg.get("id")))
@@ -344,6 +381,27 @@ class AnalysisServer:
         return ok(id=req.id, kind=req.kind, report=req.report_json,
                   failures=req.n_failures)
 
+    def _op_peek(self, msg: dict) -> dict:
+        """Answer a neighbor replica's cache probe: hot tier first, the
+        local disk tier second.  Pure lookup — never computes, never
+        recurses into our own peers, and never touches this replica's
+        recency order or disk-cache statistics."""
+        self.metrics.inc("peek_requests")
+        key = msg.get("key")
+        record = None
+        if self.hot_cache is not None and isinstance(key, str):
+            record = self.hot_cache.get(key, touch=False)
+        if record is None:
+            cache_key = msg.get("cache_key")
+            if isinstance(cache_key, str) and self.cache_dir:
+                rec = self._disk_peeker().peek(cache_key)
+                if rec is not None:
+                    record = record_from_cache_record(rec)
+        if record is None:
+            return ok(found=False)
+        self.metrics.inc("peek_served")
+        return ok(found=True, record=record)
+
     async def _op_drain(self) -> dict:
         await self.shutdown()
         counters = self.metrics.snapshot().get("counters", {})
@@ -354,11 +412,109 @@ class AnalysisServer:
     # completion plumbing
     # ------------------------------------------------------------------
 
-    async def _watch_flight(self, key: str, flight: _Flight) -> None:
-        result = await asyncio.wrap_future(flight.future)
+    def _hot_lookup(self, key: str):
+        """A TaskResult from the hot tier, or ``None`` (a malformed
+        record — e.g. written by an older schema — degrades to a
+        miss)."""
+        record = self.hot_cache.get(key)
+        if record is None:
+            return None
+        try:
+            return record_to_result(record)
+        except Exception:  # noqa: BLE001 — stale record = miss
+            return None
+
+    async def _run_flight(self, key: str, cache_key: str | None,
+                          flight: _Flight, task: AnalysisTask,
+                          deadline: float | None) -> None:
+        """Produce one result for ``key``: neighbor peek when peers are
+        configured, the worker pool otherwise; then populate the hot
+        tier and deliver to every coalesced waiter."""
+        result = None
+        if self.hot_cache is not None and self.peers:
+            record = await self._peek_peers(key, cache_key)
+            if record is not None:
+                try:
+                    result = record_to_result(record)
+                except Exception:  # noqa: BLE001 — bad peer record
+                    result = None
+                if result is not None:
+                    self.metrics.inc("hot_peek_hits")
+                    self.hot_cache.put(key, record)
+        if result is None:
+            try:
+                future = self.pool.submit(task, deadline_seconds=deadline)
+            except PoolClosedError:
+                result = _pool_closed_result(task)
+            else:
+                result = await asyncio.wrap_future(future)
+            if self.hot_cache is not None:
+                record = result_to_record(result)
+                if record is not None:
+                    self.hot_cache.put(key, record)
         self._inflight.pop(key, None)
         for req, idx in flight.waiters:
             self._deliver(req, idx, result)
+
+    def _disk_peeker(self):
+        """Lazy read-only handle on the disk tier for answering peeks
+        (the workers own their own handles for real lookups)."""
+        if self._peek_disk is None:
+            from ..core.cache import AnalysisCache
+            self._peek_disk = AnalysisCache(self.cache_dir)
+        return self._peek_disk
+
+    async def _peek_peers(self, key: str, cache_key: str | None):
+        """Probe every peer for ``key`` concurrently; first found
+        record wins.  Unreachable or slow peers are simply misses — a
+        peek can save work, never add failure modes."""
+        probes = [asyncio.ensure_future(self._peek_one(p, key, cache_key))
+                  for p in self.peers]
+        record = None
+        try:
+            for fut in asyncio.as_completed(probes,
+                                            timeout=self.peek_timeout):
+                try:
+                    rec = await fut
+                except Exception:  # noqa: BLE001 — dead peer = miss
+                    continue
+                if rec is not None:
+                    record = rec
+                    break
+        except asyncio.TimeoutError:
+            pass
+        for probe in probes:
+            probe.cancel()
+        return record
+
+    async def _peek_one(self, peer: str, key: str,
+                        cache_key: str | None):
+        addr = parse_address(peer)
+        if addr[0] == "unix":
+            reader, writer = await asyncio.open_unix_connection(
+                addr[1], limit=MAX_LINE)
+        else:
+            reader, writer = await asyncio.open_connection(
+                addr[1], addr[2], limit=MAX_LINE)
+        try:
+            msg = {"op": "peek", "key": key}
+            if cache_key is not None:
+                msg["cache_key"] = cache_key
+            writer.write(encode(msg))
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass
+        if not line:
+            return None
+        resp = decode(line)
+        if resp.get("ok") and resp.get("found"):
+            return resp.get("record")
+        return None
 
     def _deliver(self, req: _Request, idx: int, result) -> None:
         if req.slots[idx] is not None:
@@ -393,7 +549,10 @@ class AnalysisServer:
             draining=self._draining,
             queue_limit=self.queue_limit,
             coalesce=self.coalesce,
-            cache_dir=self.cache_dir)
+            cache_dir=self.cache_dir,
+            peers=list(self.peers),
+            hot=(self.hot_cache.stats()
+                 if self.hot_cache is not None else None))
 
 
 # ----------------------------------------------------------------------
@@ -410,14 +569,20 @@ def _parse(source: str, lang: str, unroll: int):
     raise ValueError(f"unknown lang {lang!r} (expected 'boogie' or 'c')")
 
 
-def _safe_key(task: AnalysisTask) -> str:
-    """Coalesce key, degrading to a never-coalescing unique key if the
-    fingerprint computation itself fails (the worker will then report
-    the real error as a structured failure)."""
+def _safe_keys(task: AnalysisTask) -> tuple[str, str | None]:
+    """``(coalesce_key, cache_key)``, degrading to a never-coalescing
+    unique key if the fingerprint computation itself fails (the worker
+    will then report the real error as a structured failure)."""
     try:
-        return coalesce_key(task)
+        return task_keys(task)
     except Exception:  # noqa: BLE001
-        return f"nocoalesce:{id(task)}:{time.monotonic_ns()}"
+        return f"nocoalesce:{id(task)}:{time.monotonic_ns()}", None
+
+
+def _safe_key(task: AnalysisTask) -> str:
+    """Backward-compatible alias of the coalesce half of
+    :func:`_safe_keys`."""
+    return _safe_keys(task)[0]
 
 
 def _pool_closed_result(task: AnalysisTask):

@@ -1,0 +1,53 @@
+"""Retry-backoff unit tests: the capped exponential schedule with
+deterministic per-request jitter (`repro.serve.client.retry_delay`)."""
+
+from repro.serve.client import BACKOFF_CAP, request_token, retry_delay
+
+
+def test_deterministic_per_token_and_attempt():
+    assert retry_delay("t", 3, 0.1) == retry_delay("t", 3, 0.1)
+    # different attempts of the same request land at different offsets
+    assert retry_delay("t", 1, 0.1) != retry_delay("t", 2, 0.1)
+
+
+def test_jitter_envelope_half_to_full_base():
+    for attempt in range(6):
+        base = min(BACKOFF_CAP, 0.1 * 2 ** attempt)
+        for token in ("a", "b", "c", "d"):
+            d = retry_delay(token, attempt, 0.1)
+            assert 0.5 * base <= d < base
+
+
+def test_exponential_growth_until_cap():
+    # Compare pre-jitter bases via a fixed token: growth must be
+    # monotone in expectation and saturate at the cap.
+    deltas = [retry_delay("t", a, 0.5, cap=4.0) for a in range(8)]
+    assert all(d < 4.0 for d in deltas)
+    assert max(deltas) >= 2.0  # reached the cap region (jitter >= 1/2)
+
+
+def test_cap_bounds_every_attempt():
+    for attempt in range(50):
+        assert retry_delay("t", attempt, 100.0, cap=2.0) < 2.0
+
+
+def test_distinct_tokens_spread_out():
+    delays = {retry_delay(f"tok{i}", 0, 1.0) for i in range(32)}
+    assert len(delays) == 32  # no thundering herd: all offsets differ
+
+
+def test_zero_hint_still_backs_off():
+    d = retry_delay("t", 0, 0.0)
+    assert d > 0.0
+
+
+def test_request_token_stable_and_content_addressed():
+    fields = {"source": "procedure p() {}", "kind": "analyze"}
+    assert request_token(fields) == request_token(dict(fields))
+    other = dict(fields, kind="cons")
+    assert request_token(fields) != request_token(other)
+
+
+def test_request_token_survives_unserializable_values():
+    token = request_token({"weird": object()})
+    assert isinstance(token, str) and token

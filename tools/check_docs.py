@@ -7,6 +7,11 @@
 2. **Snippet check**: every fenced ```python block must be valid Python
    (a `compileall`-style syntax check; snippets are compiled, never
    executed).
+3. **Cross-link check**: load-bearing edges in the doc graph must stay
+   wired — e.g. the fleet page must be reachable from README.md,
+   architecture.md, serving.md and cli.md, and must link back to the
+   single-daemon and cache pages it builds on.  A doc restructure that
+   orphans a page fails here, not in a reader's dead end.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 """
@@ -74,16 +79,67 @@ def check_snippets(path: Path) -> list[str]:
     return problems
 
 
+# Load-bearing doc-graph edges: source file -> link targets it must
+# carry (matched against resolved link paths, so "fleet.md" and
+# "docs/fleet.md" both count).  Keep this list small — it is a contract
+# for navigability, not an index of every link.
+REQUIRED_LINKS: dict[str, list[str]] = {
+    "README.md": ["docs/fleet.md", "docs/serving.md"],
+    "docs/architecture.md": ["docs/fleet.md", "docs/serving.md"],
+    "docs/serving.md": ["docs/fleet.md", "docs/cli.md"],
+    "docs/cli.md": ["docs/fleet.md", "docs/serving.md"],
+    "docs/fleet.md": ["docs/serving.md", "docs/caching.md",
+                      "docs/cli.md", "docs/architecture.md",
+                      "docs/parallel.md"],
+}
+
+
+def resolved_link_targets(path: Path) -> set[str]:
+    """Repo-relative resolved targets of every relative link in *path*."""
+    targets = set()
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        try:
+            targets.add(str(resolved.relative_to(REPO)))
+        except ValueError:
+            continue
+    return targets
+
+
+def check_cross_links() -> list[str]:
+    problems = []
+    for source, required in REQUIRED_LINKS.items():
+        path = REPO / source
+        if not path.exists():
+            problems.append(f"{source}: required doc is missing")
+            continue
+        have = resolved_link_targets(path)
+        for target in required:
+            if target not in have:
+                problems.append(f"{source}: missing required cross-link "
+                                f"-> {target}")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in doc_files():
         problems += check_links(path)
         problems += check_snippets(path)
+    problems += check_cross_links()
     for p in problems:
         print(p, file=sys.stderr)
     if not problems:
         n = len(doc_files())
-        print(f"docs OK: {n} files, links resolve, snippets compile")
+        print(f"docs OK: {n} files, links resolve, snippets compile, "
+              f"{sum(map(len, REQUIRED_LINKS.values()))} required "
+              f"cross-links present")
     return 1 if problems else 0
 
 
