@@ -46,6 +46,7 @@ ROTATION: list[tuple[str, GenConfig]] = [
     ("cache", gen.SOLVER),
     ("reduction", gen.SOLVER),
     ("lemma-cache", gen.SOLVER),
+    ("theory_justifications", gen.SOLVER),
 ]
 
 _JOBS_CONFIG = gen.MULTIPROC
@@ -141,13 +142,17 @@ def run_campaign(seed: int = 0, iterations: int = 300,
                  corpus_dir: str | Path | None = None,
                  jobs_every: int = 50,
                  minimize: bool = True,
-                 progress=None) -> CampaignResult:
+                 progress=None,
+                 only: str | None = None) -> CampaignResult:
     """Run a campaign; never raises on findings — they are collected in
     the result (``result.ok`` is the pass/fail verdict).
 
     ``corpus_dir`` (usually ``tests/corpus``) receives one minimized
     ``.bpl`` reproducer per finding; ``None`` disables writing.
     ``jobs_every=0`` disables the process-pool oracle.
+    ``only`` focuses every iteration on a single named oracle (the CI
+    uses it for targeted campaigns); the rotation, the per-iteration
+    ``roundtrip`` guard and the ``jobs`` cadence are skipped.
     """
     result = CampaignResult(seed=seed, iterations=iterations)
 
@@ -183,8 +188,22 @@ def run_campaign(seed: int = 0, iterations: int = 300,
         if detail is not None:
             record(oracle, program, rng_seed, i, detail, "disagreement")
 
+    if only is not None and only not in ORACLES:
+        raise ValueError(f"unknown oracle {only!r}; "
+                         f"known: {sorted(ORACLES)}")
+    focus_config = dict(ROTATION, roundtrip=gen.GENERAL,
+                        jobs=_JOBS_CONFIG).get(only, gen.SOLVER)
+
     for i in range(iterations):
         s = iteration_seed(seed, i)
+        if only is not None:
+            run_one(only, focus_config, s + 1, i)
+            if progress is not None and (i + 1) % 25 == 0:
+                progress(f"{i + 1}/{iterations} iterations (only={only}), "
+                         f"{len(result.disagreements)} disagreements, "
+                         f"{len(result.certificate_failures)} certificate "
+                         f"failures")
+            continue
         run_one("roundtrip", gen.GENERAL, s, i)
         heavy, config = ROTATION[i % len(ROTATION)]
         run_one(heavy, config, s + 1, i)

@@ -22,6 +22,8 @@ oracle                 side A                          side B
 ``reduction``          learnt-DB reduction on          ``reduce_learnts=False``
 ``lemma-cache``        theory-lemma cache + LIA        both knobs off
                        trail on
+``theory_``            checked theory lemmas           ``checked_theory_``
+``justifications``     (certified + replayed)          ``lemmas=False`` (trusted)
 =====================  ==============================  =======================
 
 Fragment restrictions (enforced by the generator presets in ``gen``):
@@ -364,6 +366,18 @@ def lemma_cache_on_vs_off(program: Program, rng: random.Random) -> str | None:
         "the theory-lemma cache and LIA trail")
 
 
+@_skip_on_budget
+def theory_justifications(program: Program,
+                          rng: random.Random) -> str | None:
+    """Checked theory lemmas must be invisible to every report: the run
+    whose lemmas all carry checker-replayed justifications (the default)
+    must equal the trusted-lemma run.  Since the default side keeps
+    self-checking on, an unjustifiable or checker-rejected lemma
+    surfaces as a CertificateError finding."""
+    return _tuning_differential(program, {"checked_theory_lemmas": False},
+                                "checked theory lemmas")
+
+
 ORACLES = {
     "roundtrip": roundtrip,
     "interp-vs-wp": interp_vs_wp,
@@ -373,6 +387,7 @@ ORACLES = {
     "jobs": jobs_vs_serial,
     "reduction": reduction_on_vs_off,
     "lemma-cache": lemma_cache_on_vs_off,
+    "theory_justifications": theory_justifications,
 }
 
 

@@ -25,6 +25,7 @@ term-level ites purified before CNF conversion.
 
 from __future__ import annotations
 
+from time import perf_counter as _now
 from typing import Iterable, Sequence
 
 from .dpllt import TheoryCore
@@ -72,13 +73,27 @@ class Solver:
         self._guarded: dict[int, list[Term]] = {}
         self.last_model = None  # repro.smt.model.Model after a validated sat
         self.certificates = {"sat_checked": 0, "unsat_checked": 0,
-                             "proof_steps": 0}
+                             "proof_steps": 0, "lemmas_checked": 0,
+                             "lemmas_trusted": 0, "lemmas_shared": 0,
+                             "check_wall": 0.0}
         self._proof_checker = None
         self._proof_pos = 0
         if validate:
             from .proofcheck import DrupChecker
+            from .tuning import TUNING
             self.sat.enable_proof()
-            self._proof_checker = DrupChecker()
+            # Checked theory lemmas: the theory layer emits a replayable
+            # justification with every lemma (repro.smt.certify), the SAT
+            # core attaches it to the "t" proof step, and the checker
+            # rejects any unjustified lemma instead of trusting it.
+            # Deferred verification batches the per-lemma math so flush()
+            # can fan it out across processes.
+            self._checked_lemmas = TUNING.checked_theory_lemmas
+            self._proof_checker = DrupChecker(
+                require_justified=self._checked_lemmas, defer=True)
+            if self._checked_lemmas:
+                self.theory._certify = True
+                self.sat.lemma_justifier = self.theory.pop_justification
 
     # ------------------------------------------------------------------
     # preprocessing
@@ -243,7 +258,9 @@ class Solver:
             self._replay_proof(require_final=False)
             certs = payload.get("certificates") or {}
             self.certificates["unsat_checked"] += 1
-            self.certificates["proof_steps"] += certs.get("proof_steps", 0)
+            for k in ("proof_steps", "lemmas_checked", "lemmas_trusted",
+                      "lemmas_shared", "check_wall"):
+                self.certificates[k] += certs.get(k, 0)
         return self._last_result
 
     # ------------------------------------------------------------------
@@ -257,18 +274,38 @@ class Solver:
         (``require_final=False`` skips that terminal demand — used when a
         parallel worker, not the parent log, carried the final clause)."""
         from .proofcheck import ProofError
+        checker = self._proof_checker
+        # Shared-clause justifications are only legal inside a parallel
+        # worker (the arbiter cross-checks the digests); a sequential
+        # solver must never see one.
+        checker.allow_shared = self.sat.share is not None
         log = self.sat.proof
         steps = log.steps
+        t0 = _now()
+        prev = (checker.theory_checked, checker.theory_trusted,
+                checker.theory_shared)
         while self._proof_pos < len(steps):
-            tag, lits = steps[self._proof_pos]
+            step = steps[self._proof_pos]
+            tag, lits = step[0], step[1]
+            just = step[2] if len(step) > 2 else None
             try:
-                self._proof_checker.step(tag, lits)
+                checker.step(tag, lits, just)
             except ProofError as exc:
                 raise CertificateError(
                     f"unsat certificate rejected at proof step "
                     f"{self._proof_pos}: {exc}") from None
             self._proof_pos += 1
             self.certificates["proof_steps"] += 1
+        try:
+            checker.flush()
+        except ProofError as exc:
+            raise CertificateError(
+                f"unsat certificate rejected: {exc}") from None
+        certs = self.certificates
+        certs["lemmas_checked"] += checker.theory_checked - prev[0]
+        certs["lemmas_trusted"] += checker.theory_trusted - prev[1]
+        certs["lemmas_shared"] += checker.theory_shared - prev[2]
+        certs["check_wall"] += _now() - t0
         if self._last_result == "unsat" and require_final:
             if not steps or steps[-1][0] != "f":
                 raise CertificateError(

@@ -39,6 +39,7 @@ from __future__ import annotations
 from fractions import Fraction
 from time import perf_counter as _now
 
+from .certify import justify_lemma
 from .sat.solver import SatSolver, TheoryInterface
 from .sat.tseitin import CnfBuilder
 from .terms import Op, Sort, Term, TermFactory
@@ -131,6 +132,15 @@ class TheoryCore(TheoryInterface):
         self._key_count: dict[int, int] = {}   # live LIA key multiset
         self._parse_memo: dict[int, tuple | None] = {}
         self._final_ok: set[frozenset] = set()
+        # --- checked theory lemmas -------------------------------------
+        # When api.py arms certification (validate mode with the
+        # checked_theory_lemmas knob on), every emitted conflict clause
+        # and lemma gets a checker-replayable justification reconstructed
+        # by repro.smt.certify and parked here until the SAT core logs
+        # the clause into the DRUP proof (SatSolver.lemma_justifier pulls
+        # it back out by literal-set key).
+        self._certify = False
+        self._pending_just: dict[frozenset, tuple] = {}
         self.lemmas_replayed = 0
         self.timings = {"euf": 0.0, "lia": 0.0, "interface": 0.0}
         # Optional cancellation heartbeat (set by parallel workers): a
@@ -148,6 +158,37 @@ class TheoryCore(TheoryInterface):
             "time_lia": round(self.timings["lia"], 6),
             "time_interface": round(self.timings["interface"], 6),
         }
+
+    # ------------------------------------------------------------------
+    # Checked theory lemmas
+    # ------------------------------------------------------------------
+
+    #: _pending_just size cap.  Entries are read with ``get`` (not pop):
+    #: an identical clause re-derived later reuses the same justification,
+    #: and the SAT core may normalize away the clause before asking.  The
+    #: cap bounds pathological sweeps; on overflow the dict is cleared —
+    #: losing a parked justification only matters for a clause logged
+    #: *after* the overflow, and those are re-certified on re-derivation.
+    PENDING_JUST_CAP = 4096
+
+    def pop_justification(self, clause) -> tuple | None:
+        """Justification parked for a theory clause (keyed on the literal
+        set, so normalization does not lose it).  Wired by api.py as
+        ``SatSolver.lemma_justifier``."""
+        return self._pending_just.get(frozenset(clause))
+
+    def _certified(self, clause: list[int], tokens=None,
+                   prefer: str = "lia") -> list[int]:
+        """Attach a checker-replayable justification to a freshly emitted
+        theory clause.  No-op unless api.py armed certification; raises
+        ``CertificateError`` when no justification can be reconstructed —
+        a lemma we cannot certify must not silently enter the proof."""
+        if self._certify:
+            if len(self._pending_just) >= self.PENDING_JUST_CAP:
+                self._pending_just.clear()
+            just = justify_lemma(self, clause, tokens, prefer)
+            self._pending_just[frozenset(clause)] = just
+        return clause
 
     # ------------------------------------------------------------------
     # TheoryInterface
@@ -212,7 +253,8 @@ class TheoryCore(TheoryInterface):
                 conflict = ctx.diseq_conflict()
         self.timings["lia"] += _now() - t0
         if conflict is not None:
-            return [self._premises_to_clause(conflict)]
+            return [self._certified(self._premises_to_clause(conflict),
+                                    conflict)]
         if not final:
             return []
         t0 = _now()
@@ -326,12 +368,16 @@ class TheoryCore(TheoryInterface):
                 # lemma 1: expl && k == i -> sel = v
                 lits = [lit_of(f.not_(f.eq(k, i))), lit_of(f.eq(sel, v))]
                 if None not in lits:
-                    lemmas.append(neg_expl + [l for l in lits if l != 0])
+                    lemmas.append(self._certified(
+                        neg_expl + [l for l in lits if l != 0],
+                        prefer="euf"))
                 # lemma 2: expl && k != i -> sel = select(b, k)
                 lits = [lit_of(f.eq(k, i)),
                         lit_of(f.eq(sel, f.select(b, k)))]
                 if None not in lits:
-                    lemmas.append(neg_expl + [l for l in lits if l != 0])
+                    lemmas.append(self._certified(
+                        neg_expl + [l for l in lits if l != 0],
+                        prefer="euf"))
         return lemmas
 
     def _diseq_splits(self) -> list[list[int]]:
@@ -357,7 +403,8 @@ class TheoryCore(TheoryInterface):
             a, b = atom.args
             lt1 = self.cnf.atom_var(self.factory.lt(a, b))
             lt2 = self.cnf.atom_var(self.factory.lt(b, a))
-            lemmas.append([-lit if lit < 0 else lit, lt1, lt2])
+            lemmas.append(self._certified(
+                [-lit if lit < 0 else lit, lt1, lt2]))
         return lemmas
 
     # ------------------------------------------------------------------
@@ -381,7 +428,8 @@ class TheoryCore(TheoryInterface):
             premises = self.euf.register_terms(atom.args)
         if premises is None:
             return None
-        return self._premises_to_clause(premises)
+        return self._certified(self._premises_to_clause(premises),
+                               premises, prefer="euf")
 
     def _premises_to_clause(self, premises: set) -> list[int]:
         clause: list[int] = []
@@ -454,7 +502,7 @@ class TheoryCore(TheoryInterface):
                                  frozenset({("lit", lit)}))
         if conflict is None:
             return None
-        return self._premises_to_clause(conflict)
+        return self._certified(self._premises_to_clause(conflict), conflict)
 
     def _collect_lia(self):
         # cache per trail prefix: undo_to invalidates, so a matching
@@ -551,7 +599,8 @@ class TheoryCore(TheoryInterface):
         conflict = self.lia.check(eqs, ineqs, diseqs)
         if conflict is None:
             return []
-        return [self._premises_to_clause(conflict)]
+        return [self._certified(self._premises_to_clause(conflict),
+                                conflict)]
 
     # ------------------------------------------------------------------
     # LIA -> EUF interface equality propagation
@@ -615,7 +664,8 @@ class TheoryCore(TheoryInterface):
                 eq_lit = self.cnf.atom_var(atom)
                 clause = self._premises_to_clause(prem)
                 clause.append(eq_lit)
-                lemmas.append(clause)
+                lemmas.append(self._certified(
+                    clause, set(prem) | {("lit", -eq_lit)}))
         return lemmas
 
     def _interface_lemmas(self, ctx) -> list[list[int]]:
@@ -639,5 +689,6 @@ class TheoryCore(TheoryInterface):
                 eq_lit = self.cnf.atom_var(atom)
                 clause = self._premises_to_clause(prem)
                 clause.append(eq_lit)
-                lemmas.append(clause)
+                lemmas.append(self._certified(
+                    clause, set(prem) | {("lit", -eq_lit)}))
         return lemmas

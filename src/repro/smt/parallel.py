@@ -26,14 +26,19 @@ through the map — and anything touching an unmapped (internal)
 variable is simply never shared, so a worker's private tseitin or
 theory-atom variables can never be confused with another solver's.
 
-**Trusted clause import.**  A learnt clause is a consequence of the
+**Audited clause import.**  A learnt clause is a consequence of the
 clause database alone (never of the assumptions), so workers may
 exchange their short/low-LBD learnts freely — across portfolio members
 *and* cube workers.  An importer logs the foreign clause as a ``"t"``
-(trusted) proof step, exactly like a theory lemma; its own DRUP
-certificate stays replayable.  The *winning* worker's certificate is
-validated inside that worker by the same inline
-:class:`~repro.smt.proofcheck.DrupChecker` machinery used sequentially.
+proof step carrying a ``("shared", digest)`` justification, where the
+digest (the parent-id literal set) travels with the clause through the
+parent hub.  The *winning* worker's certificate is validated inside
+that worker by the same inline
+:class:`~repro.smt.proofcheck.DrupChecker` machinery used sequentially
+(with ``allow_shared`` on), and before adopting an unsat verdict the
+parent cross-checks the worker's reported import digests against the
+set it actually rebroadcast this race — a worker cannot smuggle a
+clause into its proof that no racer derived.
 
 The parent acts as the clause-sharing hub: workers export over their
 own duplex pipe and the parent rebroadcasts, so no lock is shared
@@ -228,7 +233,9 @@ class _WorkerShare(ShareChannel):
         self.w2p = w2p
         self.max_lbd = cfg_max_lbd
         self.poll_every = poll_every
-        self._ready: list[list[int]] = []  # translated, worker ids
+        # (clause, origin digest) pairs: clause in worker ids, digest in
+        # parent ids (stable across the fleet for the arbiter audit)
+        self._ready: list[tuple[list[int], tuple]] = []
         self._out: list[list[int]] = []    # translated, parent ids
         self._fault = fault
         self._pulses = 0
@@ -268,12 +275,18 @@ class _WorkerShare(ShareChannel):
             if kind == "cancel" and msg[1] == self.job_id:
                 raise SolveCancelled()
             if kind == "clauses" and msg[1] == self.job_id:
-                for cl in msg[2]:
+                for item in msg[2]:
+                    # the hub sends (clause, digest) pairs; accept bare
+                    # clauses too (a literal-set digest is derived)
+                    if isinstance(item, tuple):
+                        cl, digest = item
+                    else:
+                        cl, digest = item, tuple(sorted(item))
                     tr = [((self.p2w[var_of(l)]) if l > 0
                            else -(self.p2w[var_of(l)]))
                           for l in cl if var_of(l) in self.p2w]
                     if len(tr) == len(cl):
-                        self._ready.append(tr)
+                        self._ready.append((tr, digest))
             # anything else (stale job traffic) is dropped
 
     def pulse(self) -> list[list[int]]:
@@ -392,6 +405,7 @@ def _worker_loop(conn, worker_id, preset, validate, lia_budget,
         share = _WorkerShare(conn, job_id, p2w, w2p, share_max_lbd,
                              poll_every, test_fault)
         solver.sat.share = share
+        solver.sat.imported_shared = []
         solver.theory.poll = share.heartbeat
         payload: dict = {}
         try:
@@ -413,6 +427,7 @@ def _worker_loop(conn, worker_id, preset, validate, lia_budget,
                                    if l not in cube_set]
             payload["stats"] = solver.stats()
             payload["certificates"] = dict(solver.certificates)
+            payload["shared_digests"] = list(solver.sat.imported_shared)
             result = ("result", job_id, verdict, payload)
         except SolveCancelled:
             result = ("result", job_id, "cancelled", None)
@@ -522,6 +537,12 @@ class ParallelContext:
         if self._presets:
             from .tuning import get_preset
             preset = get_preset(self._presets[w.index % len(self._presets)])
+        # Workers must agree with the parent on lemma checking: a preset
+        # that silently disabled it would reopen the trusted-lemma gap on
+        # whichever worker wins the race.
+        from .tuning import TUNING
+        preset = dict(preset)
+        preset["checked_theory_lemmas"] = TUNING.checked_theory_lemmas
         proc = _MP.Process(
             target=_worker_entry,
             args=(child_conn, w.index, preset, self.validate,
@@ -679,6 +700,7 @@ class ParallelContext:
     def _arbitrate(self, job: int, racers: list[_Worker]):
         cube_results: dict[int, dict] = {}  # worker index -> unsat payload
         cube_total = sum(1 for w in racers if w.cube is not None)
+        broadcast: set = set()  # digests rebroadcast this race
         deadline = (time.monotonic() + self.cfg.max_wait
                     if self.cfg.max_wait else None)
         winner = None  # (kind, payload, worker)
@@ -708,9 +730,11 @@ class ParallelContext:
                 if kind == "export":
                     clauses = msg[2]
                     self.clauses_shared += len(clauses)
+                    pairs = [(cl, tuple(sorted(cl))) for cl in clauses]
+                    broadcast.update(d for _, d in pairs)
                     for other in racers:
                         if other is not w and other.busy and other.alive:
-                            self._send(other, ("clauses", job, clauses))
+                            self._send(other, ("clauses", job, pairs))
                     continue
                 if kind != "result" or msg[1] != job:
                     continue
@@ -730,7 +754,16 @@ class ParallelContext:
                 if verdict == "sat":
                     winner = ("sat", payload, w)
                     break
-                # unsat
+                # unsat: any shared clause the certificate leaned on must
+                # be one this arbiter actually rebroadcast during the race
+                # (workers only ever import what the parent relays, so a
+                # mismatch means a corrupted or fabricated import).
+                extra = set(payload.get("shared_digests") or ()) - broadcast
+                if extra:
+                    cert_fail = (f"worker {w.index} certificate imported "
+                                 f"shared clauses never broadcast by this "
+                                 f"race")
+                    break
                 if w.cube is None:
                     winner = ("unsat", payload, w)
                     break

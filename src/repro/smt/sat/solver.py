@@ -90,11 +90,18 @@ class TheoryInterface:
 class ProofLog:
     """Chronological DRUP-style derivation log.
 
-    Steps are ``(tag, clause)`` pairs with clauses as literal tuples:
+    Steps are ``(tag, clause)`` pairs with clauses as literal tuples —
+    except theory lemmas carrying a justification, which are
+    ``("t", clause, just)`` triples:
 
     - ``"i"``: an input clause asserted through :meth:`SatSolver.add_clause`;
-    - ``"t"``: a theory lemma — T-valid but not propositionally derivable,
-      so the checker admits it as a trusted axiom;
+    - ``"t"``: a theory lemma — T-valid but not propositionally
+      derivable.  With checked theory lemmas on, the step carries the
+      justification the independent checker replays (an EUF congruence
+      chain or a LIA Farkas/tightening script, built by
+      :mod:`repro.smt.certify`); without one the checker either admits
+      it as a trusted axiom or, in ``require_justified`` mode, rejects
+      the proof;
     - ``"a"``: a learnt clause, which must be RUP with respect to every
       clause recorded before it;
     - ``"d"``: deletion of one clause copy (emitted by the learnt-clause
@@ -116,8 +123,11 @@ class ProofLog:
     def input(self, cl: Sequence[int]) -> None:
         self.steps.append(("i", tuple(cl)))
 
-    def lemma(self, cl: Sequence[int]) -> None:
-        self.steps.append(("t", tuple(cl)))
+    def lemma(self, cl: Sequence[int], just: tuple | None = None) -> None:
+        if just is None:
+            self.steps.append(("t", tuple(cl)))
+        else:
+            self.steps.append(("t", tuple(cl), just))
 
     def derive(self, cl: Sequence[int]) -> None:
         self.steps.append(("a", tuple(cl)))
@@ -204,6 +214,15 @@ class SatSolver:
         self._assumptions: list[int] = []
         # Optional DRUP-style proof log (None = no logging overhead).
         self.proof: ProofLog | None = None
+        # Optional justification source for theory lemmas: a callable
+        # mapping a clause (literal iterable) to a checker-replayable
+        # justification tuple or None.  api.py wires it to
+        # TheoryCore.pop_justification when checked theory lemmas are on.
+        self.lemma_justifier = None
+        # Origin digests of clauses imported from the share channel this
+        # solve; the parallel arbiter cross-checks them against what was
+        # actually broadcast before adopting a worker's certificate.
+        self.imported_shared: list = []
         # Optional clause-sharing / cancellation hook (ShareChannel).
         self.share: ShareChannel | None = None
         self._share_next = 0
@@ -594,16 +613,20 @@ class SatSolver:
     # lemma integration (theory clauses, possibly during search)
     # ------------------------------------------------------------------
 
-    def _integrate_lemma(self, lits: Sequence[int]) -> list[int] | None:
+    def _integrate_lemma(self, lits: Sequence[int],
+                         just: tuple | None = None) -> list[int] | None:
         """Add a clause mid-search.  Returns a conflicting clause to analyze
         (already positioned at the right decision level) or None."""
         cl = normalize_clause(lits)
         if cl is None:
             return None
         if self.proof is not None:
-            # Theory lemmas are T-valid, not propositionally derivable:
-            # the proof checker admits them as trusted axioms.
-            self.proof.lemma(cl)
+            # Theory lemmas are T-valid, not propositionally derivable;
+            # ask the justifier for the parked certificate so the proof
+            # checker can replay the lemma instead of trusting it.
+            if just is None and self.lemma_justifier is not None:
+                just = self.lemma_justifier(cl)
+            self.proof.lemma(cl, just)
         vals = [self.value(l) for l in cl]
         if any(v is True for v in vals):
             if len(cl) >= 2:
@@ -706,13 +729,22 @@ class SatSolver:
         conflicting clause to analyze (at most one per pulse; leftovers
         are requeued) or None.  May raise :class:`SolveCancelled`."""
         incoming = self.share.pulse()
-        for i, cl in enumerate(incoming):
+        for i, item in enumerate(incoming):
+            # channels send (clause, origin-digest) pairs; plain clause
+            # lists (older channels, tests) still work with a literal-set
+            # digest standing in for the origin
+            if isinstance(item, tuple):
+                cl, origin = item
+            else:
+                cl, origin = item, None
             key = tuple(sorted(cl))
             if key in self._share_seen:
                 continue
             self._share_seen.add(key)
             self.imported_clauses += 1
-            confl = self._integrate_lemma(cl)
+            digest = origin if origin is not None else tuple(sorted(cl))
+            self.imported_shared.append(digest)
+            confl = self._integrate_lemma(cl, ("shared", digest))
             if confl is not None:
                 rest = incoming[i + 1:]
                 if rest:

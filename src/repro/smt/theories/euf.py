@@ -394,6 +394,24 @@ class EufSolver:
                     out.add(reason)
                 x = parent
 
+    def explain_lits(self, a: Term, b: Term) -> list[int] | None:
+        """The explanation of ``a = b`` as a sorted list of SAT literals,
+        or None when any premise token is not a ``('lit', l)`` pair.
+
+        Certificate emission (:mod:`repro.smt.certify`) rebuilds
+        congruence chains from exactly these literals' atoms; a
+        non-literal reason would mean the merge came from outside the
+        SAT trail and cannot be justified to the independent checker.
+        """
+        if a is b:
+            return []
+        tokens = self.explain(a, b)
+        lits = sorted({t[1] for t in tokens
+                       if isinstance(t, tuple) and t[0] == "lit"})
+        if len(lits) != len(tokens):
+            return None
+        return lits
+
     # ------------------------------------------------------------------
     # queries used by the combination layer
     # ------------------------------------------------------------------

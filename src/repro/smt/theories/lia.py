@@ -43,6 +43,16 @@ class LiaBudgetExceeded(Exception):
     """The Fourier–Motzkin constraint budget was exhausted."""
 
 
+#: Test-only fault injection: re-introduce the PR 3 Gaussian pivot bug
+#: (eliminate with the first variable in insertion order while claiming
+#: the substitution is integer-lossless, and drop the equation's premise
+#: from the substituted rows).  The mutation test in
+#: tests/smt/test_theory_certificates.py flips this to prove the
+#: checked-lemma pass — not just the sat-model re-evaluation — catches
+#: the resulting unsound conflict explanations.  Never set outside tests.
+PR3_PIVOT_BUG = False
+
+
 # A linear form is dict[key, Fraction]; a constraint is
 # (coeffs, const, premises) meaning  sum(coeffs * x) + const <= 0  (an
 # inequality) or == 0 (an equation).
@@ -299,7 +309,8 @@ class LiaSolver:
                 return self._fail(prem | lop)
             if hi is not None and sub_const > hi:
                 return self._fail(prem | hip)
-        self._subs.append((var, sub_coeffs, sub_const, prem))
+        self._subs.append((var, sub_coeffs, sub_const,
+                           frozenset() if PR3_PIVOT_BUG else prem))
         rows = []
         for rc, rk, rp in self._rows:
             c = rc.get(var)
@@ -311,7 +322,7 @@ class LiaSolver:
             nc = lin_add(nc, lin_scale(sub_coeffs, c))
             nk = rk + c * sub_const
             nc, nk = _tighten(nc, nk)
-            np_ = rp | prem
+            np_ = rp if PR3_PIVOT_BUG else rp | prem
             if not nc:
                 if nk > 0:
                     self._rows = tuple(rows)
@@ -351,6 +362,8 @@ class LiaSolver:
         """Smallest pivot whose coefficient divides every other
         coefficient and the constant (integer-lossless elimination);
         None if there is no such pivot."""
+        if PR3_PIVOT_BUG:
+            return next(iter(int_coeffs))
         for k in sorted(int_coeffs, key=lambda k: (abs(int_coeffs[k]), k)):
             a = abs(int_coeffs[k])
             if all(c % a == 0 for c in int_coeffs.values()) and \
@@ -479,11 +492,13 @@ class LiaSolver:
                 del ncoeffs[var]
                 ncoeffs = lin_add(ncoeffs, lin_scale(sub_coeffs, c))
                 nconst = tconst + c * sub_const
-                return (ncoeffs, nconst, tprem | prem)
+                return (ncoeffs, nconst,
+                        tprem if PR3_PIVOT_BUG else tprem | prem)
 
             work_eqs = [subst(e) for e in work_eqs]
             work_ineqs = [subst(i) for i in work_ineqs]
-            subs.append((var, sub_coeffs, sub_const, frozenset(prem)))
+            subs.append((var, sub_coeffs, sub_const,
+                         frozenset() if PR3_PIVOT_BUG else frozenset(prem)))
         # --- integer tightening ----------------------------------------
         tight: list[tuple] = []
         for coeffs, const, prem in work_ineqs:

@@ -52,6 +52,13 @@ class SolverTuning:
     #: Remember the last assigned polarity of each variable and branch
     #: there first (MiniSat phase saving).  Off = always phase_default.
     phase_saving: bool = True
+    #: Theory lemmas carry checkable justifications (EUF congruence
+    #: chains, LIA Farkas/tightening scripts) that the standalone proof
+    #: checker replays; off = the pre-PR-8 behaviour where ``"t"`` proof
+    #: steps are admitted as trusted axioms.  Verdict-preserving: only
+    #: the certificate layer changes.  Exists for bisection and for the
+    #: trusted-vs-checked wall comparison in tools/selfcheck_fig5.py.
+    checked_theory_lemmas: bool = True
 
 
 #: The process-wide default read at solver construction time.

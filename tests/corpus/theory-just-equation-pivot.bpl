@@ -1,0 +1,19 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: theory_justifications
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: lemmas from LIA equation pivoting (2*x + y == 0 substituted
+// into the bounds) and a disequality split must carry justifications
+// the standalone checker replays; the PR 3 pivot-integrality bug made
+// exactly this shape derive a lemma that is not T-valid, which the
+// checked-lemma pass rejects while trusted-lemma mode accepts silently.
+procedure main(x: int, y: int)
+{
+  assume (2 * x + y == 0);
+  if (x <= -1) {
+    assert (y >= 2);
+  } else {
+    assume (y != 0);
+    assert (x >= 1 || y <= -1 || y >= 1);
+  }
+}

@@ -25,6 +25,20 @@ def test_short_campaign_is_clean(tmp_path):
     assert not list(tmp_path.iterdir())  # clean campaign writes nothing
 
 
+def test_focused_campaign_runs_only_the_named_oracle(tmp_path):
+    result = run_campaign(seed=0, iterations=3, corpus_dir=tmp_path,
+                          jobs_every=0, only="theory_justifications")
+    assert result.ok, (result.disagreements, result.certificate_failures)
+    assert result.executed == {"theory_justifications": 3}
+    assert not list(tmp_path.iterdir())
+    try:
+        run_campaign(seed=0, iterations=1, only="no-such-oracle")
+    except ValueError as exc:
+        assert "no-such-oracle" in str(exc)
+    else:
+        raise AssertionError("unknown oracle name was accepted")
+
+
 def test_iteration_seed_is_stable_and_spread():
     seeds = [iteration_seed(0, i) for i in range(100)]
     assert seeds == [iteration_seed(0, i) for i in range(100)]

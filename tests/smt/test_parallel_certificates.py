@@ -1,0 +1,121 @@
+"""Checked theory lemmas across the intra-query parallel path: adopted
+winner certificates must carry verified (or audited-shared) lemmas and
+never fall back to trusting one, and clause sharing must keep the
+origin digests that let the arbiter audit worker certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smt.api import Solver
+from repro.smt.parallel import ParallelConfig
+from repro.smt.sat.solver import SatSolver
+from repro.smt.terms import TermFactory
+
+FAST_RACE = dict(probe_conflicts=5, min_clauses=0)
+
+
+def _pigeonhole(n: int, parallel=None):
+    f = TermFactory()
+    s = Solver(f, validate=True, parallel=parallel)
+    xs = [f.int_var(f"x{i}") for i in range(n)]
+    for x in xs:
+        s.add(f.le(f.intconst(1), x), f.le(x, f.intconst(n - 1)))
+    inds = []
+    for i in range(n):
+        for j in range(i):
+            ind = s.new_indicator()
+            s.add_guarded(ind, f.not_(f.eq(xs[i], xs[j])))
+            inds.append(ind)
+    return s, inds
+
+
+@pytest.mark.parametrize("mode", ["auto", "portfolio", "cubes"])
+def test_adopted_unsat_has_no_trusted_lemmas(mode):
+    cfg = ParallelConfig(mode=mode, workers=3, **FAST_RACE)
+    s, inds = _pigeonhole(6, parallel=cfg)
+    assert s.check(inds) == "unsat"
+    certs = s.certificates
+    assert certs["unsat_checked"] >= 1
+    # every theory lemma in the adopted certificate was either verified
+    # by the checker or is an audited import from a racing peer; none
+    # was taken on trust
+    assert certs["lemmas_trusted"] == 0
+    assert certs["lemmas_checked"] >= 1
+    assert s._par_ctx.worker_errors == []
+    s.close()
+
+
+def test_sequential_and_parallel_agree_on_lemma_counters():
+    s0, inds0 = _pigeonhole(5)
+    assert s0.check(inds0) == "unsat"
+    assert s0.certificates["lemmas_trusted"] == 0
+
+    cfg = ParallelConfig(workers=2, **FAST_RACE)
+    s1, inds1 = _pigeonhole(5, parallel=cfg)
+    assert s1.check(inds1) == "unsat"
+    assert s1.certificates["lemmas_trusted"] == 0
+    s1.close()
+
+
+def test_share_pulse_records_import_digests():
+    """Imported clauses carry their parent-id digest into the proof as a
+    ``("shared", digest)`` justification and into ``imported_shared``
+    (what the worker later reports for the arbiter's audit)."""
+
+    class _StubChannel:
+        def __init__(self, items):
+            self.items = items
+            self.requeued = []
+
+        def pulse(self):
+            items, self.items = self.items, []
+            return items
+
+        def requeue(self, rest):
+            self.requeued.extend(rest)
+
+        def export(self, cl, lbd):
+            return False
+
+    solver = SatSolver()
+    solver.enable_proof()
+    solver.new_var()
+    solver.new_var()
+    solver.add_clause([1, 2])
+    digest = (7, 9)  # parent ids: opaque to the importer
+    solver.share = _StubChannel([([-1, 2], digest), [2, 1]])
+    assert solver._share_pulse() is None
+    assert digest in solver.imported_shared
+    # a bare clause (no pair) digests to its own sorted literals
+    assert (1, 2) in solver.imported_shared
+    shared_steps = [st for st in solver.proof.steps
+                    if st[0] == "t" and len(st) > 2
+                    and st[2][0] == "shared"]
+    assert {st[2][1] for st in shared_steps} == {digest, (1, 2)}
+
+
+def test_share_pulse_conflict_requeues_remainder():
+    class _StubChannel:
+        def __init__(self, items):
+            self.items = items
+            self.requeued = []
+
+        def pulse(self):
+            items, self.items = self.items, []
+            return items
+
+        def requeue(self, rest):
+            self.requeued.extend(rest)
+
+        def export(self, cl, lbd):
+            return False
+
+    solver = SatSolver()
+    solver.new_var()
+    solver.add_clause([1])
+    # first import contradicts the root unit; the rest must be requeued
+    ch = _StubChannel([([-1], (1,)), ([1], (2,))])
+    solver.share = ch
+    assert solver._share_pulse() is not None
+    assert ch.requeued == [([1], (2,))]

@@ -91,6 +91,8 @@ REQUIRED_LINKS: dict[str, list[str]] = {
     "docs/fleet.md": ["docs/serving.md", "docs/caching.md",
                       "docs/cli.md", "docs/architecture.md",
                       "docs/parallel.md"],
+    "docs/smt_architecture.md": ["docs/testing.md"],
+    "docs/testing.md": ["docs/smt_architecture.md"],
 }
 
 

@@ -46,13 +46,16 @@ def main(argv: list[str] | None = None) -> int:
                          "(0 disables; default 50)")
     ap.add_argument("--quiet", action="store_true",
                     help="suppress progress lines")
+    ap.add_argument("--only", default=None, metavar="ORACLE",
+                    help="focus every iteration on one named oracle "
+                         "(e.g. theory_justifications)")
     args = ap.parse_args(argv)
 
     progress = None if args.quiet else (lambda msg: print(msg, flush=True))
     result = run_campaign(
         seed=args.seed, iterations=args.iterations,
         corpus_dir=None if args.no_emit else args.corpus,
-        jobs_every=args.jobs_every, progress=progress)
+        jobs_every=args.jobs_every, progress=progress, only=args.only)
 
     print(f"campaign seed={result.seed} iterations={result.iterations}")
     for oracle in sorted(result.executed):

@@ -10,15 +10,26 @@ asserted formula evaluates true.  Any rejected certificate raises
 produced zero checked certificates also fails (exit 1) — it would mean
 validation silently did not happen.
 
+Theory lemmas inside the proofs are certificate-checked too (the
+``checked_theory_lemmas`` regime, default-on): the sweep totals
+``lemmas_checked`` / ``lemmas_trusted`` / ``check_wall`` and fails
+(exit 1) if any lemma was admitted on trust or none was checked.
+
 ``--parallel SPEC`` runs the same sweep with intra-query parallel
 solving (``auto``/``portfolio``/``cubes``, optional ``:N``): the CI
 smoke uses it to witness that worker-produced certificates certify
 exactly like sequential ones.
 
+``--compare-trusted`` re-runs the sweep with
+``tuning(checked_theory_lemmas=False)`` and writes both checking walls
+(and their ratio) into ``BENCH_perf.json`` under
+``selfcheck_checked_lemmas``; the acceptance bar is a checked/trusted
+overhead ratio of at most 2x.
+
 Usage::
 
     python tools/selfcheck_fig5.py [--scale 1.0] [--timeout 30]
-                                   [--parallel auto:2]
+                                   [--parallel auto:2] [--compare-trusted]
 """
 
 from __future__ import annotations
@@ -35,6 +46,36 @@ from repro.core import analyze_program, conservative_program  # noqa: E402
 from repro.frontend import compile_c                      # noqa: E402
 from repro.smt.api import CertificateError                # noqa: E402
 
+_CERT_KEYS = ("sat_checked", "unsat_checked", "proof_steps",
+              "lemmas_checked", "lemmas_trusted", "lemmas_shared",
+              "check_wall")
+
+
+def _sweep(scale: float, timeout: float, parallel) -> dict:
+    """One full sweep; returns certificate totals (raises on rejection)."""
+    totals: dict = {k: 0 for k in _CERT_KEYS}
+    totals["check_wall"] = 0.0
+    for suite in small_suites(scale=scale):
+        program = compile_c(suite.c_source)
+        report = analyze_program(program, timeout=timeout,
+                                 self_check=True, parallel=parallel)
+        conservative_program(program, timeout=timeout, self_check=True)
+        counts = {k: 0 for k in _CERT_KEYS}
+        counts["check_wall"] = 0.0
+        for r in report.reports:
+            for key in _CERT_KEYS:
+                counts[key] += r.certificates.get(key, 0)
+        for key in _CERT_KEYS:
+            totals[key] += counts[key]
+        print(f"{suite.name}: {len(report.reports)} procedures, "
+              f"{report.n_timeouts} timeouts, "
+              f"sat_checked={counts['sat_checked']} "
+              f"unsat_checked={counts['unsat_checked']} "
+              f"proof_steps={counts['proof_steps']} "
+              f"lemmas_checked={counts['lemmas_checked']} "
+              f"lemmas_trusted={counts['lemmas_trusted']}")
+    return totals
+
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
@@ -49,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="run the sweep with --parallel-query style "
                          "intra-query parallelism (auto|portfolio|"
                          "cubes[:N]); certificates must still certify")
+    ap.add_argument("--compare-trusted", action="store_true",
+                    help="re-run with checked_theory_lemmas off and "
+                         "record both checking walls in BENCH_perf.json")
     args = ap.parse_args(argv)
 
     parallel = None
@@ -60,39 +104,74 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: --parallel: {exc}", file=sys.stderr)
             return 2
 
-    totals = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
     t0 = time.monotonic()
-    for suite in small_suites(scale=args.scale):
-        program = compile_c(suite.c_source)
-        try:
-            report = analyze_program(program, timeout=args.timeout,
-                                     self_check=True, parallel=parallel)
-            conservative_program(program, timeout=args.timeout,
-                                 self_check=True)
-        except CertificateError as exc:
-            print(f"{suite.name}: CERTIFICATE REJECTED: {exc}",
-                  file=sys.stderr)
-            return 3
-        counts = {"sat_checked": 0, "unsat_checked": 0, "proof_steps": 0}
-        for r in report.reports:
-            for key in counts:
-                counts[key] += r.certificates.get(key, 0)
-        for key in totals:
-            totals[key] += counts[key]
-        print(f"{suite.name}: {len(report.reports)} procedures, "
-              f"{report.n_timeouts} timeouts, "
-              f"sat_checked={counts['sat_checked']} "
-              f"unsat_checked={counts['unsat_checked']} "
-              f"proof_steps={counts['proof_steps']}")
+    try:
+        totals = _sweep(args.scale, args.timeout, parallel)
+    except CertificateError as exc:
+        print(f"CERTIFICATE REJECTED: {exc}", file=sys.stderr)
+        return 3
     elapsed = time.monotonic() - t0
     print(f"total: sat_checked={totals['sat_checked']} "
           f"unsat_checked={totals['unsat_checked']} "
-          f"proof_steps={totals['proof_steps']} in {elapsed:.1f}s")
+          f"proof_steps={totals['proof_steps']} "
+          f"lemmas_checked={totals['lemmas_checked']} "
+          f"lemmas_trusted={totals['lemmas_trusted']} "
+          f"lemmas_shared={totals['lemmas_shared']} "
+          f"check_wall={totals['check_wall']:.3f}s in {elapsed:.1f}s")
     if totals["sat_checked"] + totals["unsat_checked"] == 0:
         print("error: no certificates were checked — self-check did not "
               "take effect", file=sys.stderr)
         return 1
-    print("OK: every answer carried an accepted certificate")
+    if totals["lemmas_trusted"] > 0:
+        print(f"error: {totals['lemmas_trusted']} theory lemma(s) admitted "
+              "on trust — checked_theory_lemmas did not take effect",
+              file=sys.stderr)
+        return 1
+    if totals["lemmas_checked"] == 0:
+        print("error: no theory lemma was checked — the sweep exercised "
+              "no theory reasoning", file=sys.stderr)
+        return 1
+
+    if args.compare_trusted:
+        from repro.smt.tuning import tuning
+        t1 = time.monotonic()
+        try:
+            with tuning(checked_theory_lemmas=False):
+                trusted = _sweep(args.scale, args.timeout, parallel)
+        except CertificateError as exc:
+            print(f"CERTIFICATE REJECTED (trusted re-run): {exc}",
+                  file=sys.stderr)
+            return 3
+        trusted_elapsed = time.monotonic() - t1
+        checked_wall = totals["check_wall"]
+        trusted_wall = trusted["check_wall"]
+        ratio = (checked_wall / trusted_wall) if trusted_wall > 0 \
+            else float("inf")
+        print(f"trusted-lemma re-run: lemmas_trusted="
+              f"{trusted['lemmas_trusted']} "
+              f"check_wall={trusted_wall:.3f}s in {trusted_elapsed:.1f}s")
+        print(f"checking-wall ratio (checked/trusted): {ratio:.2f}x")
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                               / "benchmarks"))
+        from _util import emit_json
+        emit_json("selfcheck_checked_lemmas", {
+            "scale": args.scale,
+            "lemmas_checked": totals["lemmas_checked"],
+            "lemmas_trusted_rerun": trusted["lemmas_trusted"],
+            "check_wall_checked_s": round(checked_wall, 4),
+            "check_wall_trusted_s": round(trusted_wall, 4),
+            "check_wall_ratio": (round(ratio, 3)
+                                 if ratio != float("inf") else None),
+            "sweep_wall_checked_s": round(elapsed, 2),
+            "sweep_wall_trusted_s": round(trusted_elapsed, 2),
+        })
+        if ratio > 2.0:
+            print(f"error: checked-lemma checking wall is {ratio:.2f}x the "
+                  "trusted-lemma wall (bar: 2x)", file=sys.stderr)
+            return 1
+
+    print("OK: every answer carried an accepted certificate and every "
+          "theory lemma was checked")
     return 0
 
 
