@@ -15,6 +15,7 @@ Usage::
     python -m repro serve  [--socket ADDR] [--pool N] [--queue-limit N] ...
     python -m repro fleet  [--socket ADDR] [--replicas N] [--pool N] ...
     python -m repro submit [--socket ADDR | --router ADDR] [--c] ... FILE
+    python -m repro ci     DIR [--manifest PATH] [--jobs N] ...
 
 ``--c`` treats FILE as mini-C (the HAVOC path); otherwise it is parsed as
 the mini-Boogie surface syntax.  ``--config`` may repeat (default: Conc);
@@ -31,8 +32,12 @@ one client-facing address (``docs/fleet.md``); ``submit`` sends a file
 to a running daemon *or* fleet router (``--router`` is an explicit
 alias for the router's address — same wire protocol) and prints
 *exactly* what the batch invocation would print for the same flags —
-CI diffs the two.  Every flag and every exit code is documented with
-examples in ``docs/cli.md``.
+CI diffs the two.  ``ci`` is the repo-scale incremental mode
+(``docs/ci_mode.md``): it ingests every source under DIR, re-analyzes
+only what changed since the manifest's previous run (plus spec-
+dependent callers), and exits 1 exactly when the run introduced *new*
+warnings.  Every flag and every exit code is documented with examples
+in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -228,6 +233,121 @@ def build_submit_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def build_ci_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro ci",
+        description="repo-scale incremental analysis: re-analyze only the "
+                    "procedures a diff can affect — changed/renamed/new "
+                    "ones plus direct callers of spec-changed callees — "
+                    "against the previous run's manifest (docs/ci_mode.md)")
+    ap.add_argument("dir", help="repository root: every .bpl/.c under it "
+                                "is ingested as one program")
+    ap.add_argument("--manifest", metavar="PATH", default=None,
+                    help="manifest file recording the previous run "
+                         "(default: DIR/.repro-manifest.json); read before "
+                         "the run, rewritten after")
+    ap.add_argument("--config", default="Conc", metavar="NAME",
+                    choices=sorted(BY_NAME),
+                    help="abstract configuration (default Conc); changing "
+                         "it invalidates the whole manifest")
+    ap.add_argument("--prune-k", type=int, default=None, metavar="K",
+                    help="clause pruning bound (§4.3); default: no pruning")
+    ap.add_argument("--timeout", type=float, default=10.0,
+                    help="per-procedure timeout in seconds (default 10)")
+    ap.add_argument("--unroll", type=int, default=2,
+                    help="loop unrolling depth (default 2)")
+    ap.add_argument("--max-preds", type=int, default=12, metavar="N",
+                    help="predicate vocabulary bound (default 12)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run the dirty set on N priority-pool workers "
+                         "(default 1: serial, in plan order)")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    default=os.environ.get("REPRO_CACHE_DIR"),
+                    help="persistent analysis cache (default: "
+                         "$REPRO_CACHE_DIR); lets renamed/moved procedures "
+                         "re-serve with zero solver work")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the persistent cache even if "
+                         "--cache-dir / $REPRO_CACHE_DIR is set")
+    ap.add_argument("--delta-out", metavar="FILE", default=None,
+                    help="also write the canonical warning-delta JSON "
+                         "(byte-stable; CI diffs it against a golden)")
+    ap.add_argument("--bench-out", metavar="FILE", default=None,
+                    help="write BENCH-style run stats (wall/queries/"
+                         "dirty-set sizes) as JSON")
+    return ap
+
+
+def run_ci_cmd(argv: list[str], out=sys.stdout) -> int:
+    args = build_ci_parser().parse_args(argv)
+    from .core.incremental import render_delta, run_ci
+    from .frontend.ingest import IngestError
+    from .smt.api import CertificateError
+    manifest_path = args.manifest or os.path.join(
+        args.dir, ".repro-manifest.json")
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        result = run_ci(args.dir, manifest_path,
+                        config=BY_NAME[args.config], prune_k=args.prune_k,
+                        timeout=args.timeout, unroll_depth=args.unroll,
+                        max_preds=args.max_preds, jobs=args.jobs,
+                        cache_dir=cache_dir)
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CertificateError as exc:
+        print(f"certificate rejected: {exc}", file=sys.stderr)
+        return 3
+
+    plan, stats = result.plan, result.stats
+    counts = plan.counts()
+    print(f"ci: {stats['files']} files, {stats['procedures']} procedures; "
+          f"analyzing {stats['analyzed']} "
+          f"({counts['changed']} changed, {counts['renamed']} renamed, "
+          f"{counts['new']} new, {counts['dependent']} dependent), "
+          f"{counts['clean']} clean [{plan.reason}]", file=out)
+    for name in plan.order:
+        report = result.reports[name]
+        header = f"{name} [{args.config}]"
+        if report.timed_out:
+            print(f"{header}: TIMEOUT", file=out)
+        elif report.failed:
+            ftype = report.failure.get("type", "unknown")
+            fmsg = report.failure.get("message", "")
+            print(f"{header}: FAILED ({ftype}: {fmsg})", file=out)
+        else:
+            print(f"{header}: {report.status}", file=out)
+            for w in report.warnings:
+                print(f"  WARNING {w}", file=out)
+    for cls in ("high", "cons"):
+        d = result.delta[cls]
+        print(f"delta[{cls}]: {len(d['new'])} new, {len(d['fixed'])} fixed, "
+              f"{len(d['unchanged'])} unchanged", file=out)
+        for w in d["new"]:
+            print(f"  NEW {w}", file=out)
+
+    if args.delta_out:
+        with open(args.delta_out, "w") as fh:
+            fh.write(render_delta(result.delta))
+    if args.bench_out:
+        import json as _json
+        section = {"suites": {"run": {
+            "wall_seconds": stats["wall_seconds"],
+            "queries": stats["queries"],
+            "analyzed": stats["analyzed"],
+            "dirty": stats["analyzed"],
+            "clean": stats["clean"],
+            "procedures": stats["procedures"],
+        }}}
+        with open(args.bench_out, "w") as fh:
+            _json.dump({"incremental_ci": section}, fh, indent=2,
+                       sort_keys=True)
+            fh.write("\n")
+    if result.failed_procs:
+        return 4
+    return 1 if result.new_warnings else 0
+
+
 def run_serve(argv: list[str], out=sys.stdout) -> int:
     args = build_serve_parser().parse_args(argv)
     if not args.socket:
@@ -367,6 +487,8 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
         return run_fleet_cmd(argv[1:], out=out)
     if argv and argv[0] == "submit":
         return run_submit(argv[1:], out=out)
+    if argv and argv[0] == "ci":
+        return run_ci_cmd(argv[1:], out=out)
     args = build_arg_parser().parse_args(argv)
     try:
         source = open(args.file).read()

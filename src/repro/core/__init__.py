@@ -38,14 +38,22 @@ __all__ = [
 
 # Extensions beyond the paper's prototype (motivated by its §6/§7):
 from .doomed import DoomedReport, find_doomed
+from .incremental import (CiResult, IncrementPlan, load_manifest,
+                          plan_increment, render_delta, run_ci,
+                          save_manifest, warning_delta)
 from .interproc import (InterprocResult, analyze_program_interprocedural,
-                        infer_contracts, strengthen_program)
+                        call_graph, callers_of, infer_contracts,
+                        spec_dependents, spec_fingerprint,
+                        strengthen_program)
 from .report import TriagedWarning, TriageReport, triage_program, witness_path
 from .zranking import RankedAlarm, precision_at_k, z_rank
 
 __all__ += [
     "DoomedReport", "find_doomed",
+    "CiResult", "IncrementPlan", "load_manifest", "plan_increment",
+    "render_delta", "run_ci", "save_manifest", "warning_delta",
     "InterprocResult", "analyze_program_interprocedural",
+    "call_graph", "callers_of", "spec_dependents", "spec_fingerprint",
     "infer_contracts", "strengthen_program",
     "TriagedWarning", "TriageReport", "triage_program", "witness_path",
     "RankedAlarm", "precision_at_k", "z_rank",

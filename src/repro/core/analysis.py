@@ -173,7 +173,7 @@ def analyze_procedure(program: Program, proc_name: str,
         key = cache.analysis_key(program, prepared, config=config,
                                  prune_k=prune_k, unroll_depth=unroll_depth,
                                  max_preds=max_preds)
-        hit = cache.load_analysis(key)
+        hit = cache.load_analysis(key, proc_name=proc_name)
         if hit is not None:
             return hit
     report = ProcedureReport(proc_name=proc_name, config_name=config.name)

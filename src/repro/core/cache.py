@@ -11,6 +11,9 @@ Dead() semantics knob, and the record schema version.  Wall-clock and
 solver budgets (``timeout``, ``lia_budget``) are deliberately **not**
 part of the key: only analyses that ran to completion are stored, and a
 completed analysis is a pure function of the fingerprinted inputs.
+Neither is the procedure's *name*: a fingerprint-identical procedure
+that reappears under a new name (file rename, procedure move) hits the
+record it earned under the old one, with the name rewritten on load.
 
 On-disk layout (see ``docs/caching.md`` for the full format):
 
@@ -50,7 +53,11 @@ from .deadfail import seed_baselines
 #: or shape of a record changes (new ``ProcedureReport`` fields, changed
 #: id assignment, changed semantics); old records then hash to different
 #: keys and simply stop being found — no migration, no mixed reads.
-SCHEMA_VERSION = 2
+#: v3: the content address no longer covers the procedure *name* (a
+#: renamed/moved procedure keeps its entry) and records carry a
+#: top-level ``wall`` so schedulers can read historical cost without
+#: reconstructing the report.
+SCHEMA_VERSION = 3
 
 
 def _digest(*parts: str) -> str:
@@ -222,10 +229,15 @@ class AnalysisCache:
     # analysis records
     # ------------------------------------------------------------------
 
-    def load_analysis(self, key: str):
+    def load_analysis(self, key: str, proc_name: str | None = None):
         """The cached :class:`~repro.core.analysis.ProcedureReport` for
         ``key``, or ``None``.  A hit also seeds the in-process baseline
-        memo from the record's Dead/Fail baseline sets."""
+        memo from the record's Dead/Fail baseline sets.
+
+        ``proc_name`` rewrites the loaded report's procedure name: the
+        content address is name-independent (a renamed or moved
+        procedure hits the record it earned under its old name), so the
+        stored name may be stale for this caller."""
         from .analysis import ProcedureReport
         rec = self._read(key, "analysis")
         if rec is None:
@@ -246,9 +258,24 @@ class AnalysisCache:
         except Exception:
             self.invalidations += 1
             return None
+        if proc_name is not None:
+            report.proc_name = proc_name
         self.hits += 1
         self.queries_served += report.queries
         return report
+
+    def wall_of(self, key: str) -> float | None:
+        """The wall seconds the result under ``key`` originally cost to
+        *compute*, or ``None``.  Read from the record's top-level
+        ``wall`` field without reconstructing the report — the
+        incremental driver's "historically slow first" ordering
+        (`repro.core.incremental`) reads this for procedures it is
+        about to re-serve.  No hit/miss counting (like :meth:`peek`)."""
+        rec = self.peek(key)
+        if rec is None:
+            return None
+        wall = rec.get("wall")
+        return float(wall) if isinstance(wall, (int, float)) else None
 
     def store_analysis(self, key: str, report, res) -> None:
         """Persist a *completed* analysis: the report verbatim plus the
@@ -264,6 +291,9 @@ class AnalysisCache:
             "kind": "analysis",
             "proc": report.proc_name,
             "config": report.config_name,
+            # compute cost, surfaced without report reconstruction so
+            # re-run schedulers can order "historically slow first"
+            "wall": report.seconds,
             "encoding": res.enc_summary,
             "cover": cover_to_json(res.cover),
             "baseline": {
@@ -297,14 +327,17 @@ class AnalysisCache:
         self.hits += 1
         return warnings
 
-    def store_cons(self, key: str, result) -> None:
+    def store_cons(self, key: str, result, wall: float = 0.0) -> None:
         """Persist a completed conservative check (a
         :class:`~repro.core.checker.CheckResult` carrying its encoding
-        summary and baseline sets)."""
+        summary and baseline sets).  ``wall`` is the compute cost in
+        seconds, kept for the same scheduling heuristic as analysis
+        records."""
         self._write(key, {
             "schema": SCHEMA_VERSION,
             "kind": "cons",
             "proc": result.proc_name,
+            "wall": wall,
             "encoding": result.enc_summary,
             "baseline": {
                 "dead_through_failures": True,

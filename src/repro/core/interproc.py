@@ -26,15 +26,97 @@ Soundness guardrails:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
-from ..lang.ast import (BoolLit, Formula, Procedure, Program, formula_vars,
-                        mk_and, mk_or, TRUE)
+from ..lang.ast import (BoolLit, CallStmt, Formula, Procedure, Program,
+                        Stmt, formula_vars, mk_and, mk_or, stmt_children,
+                        TRUE)
 from ..lang.transform import is_lambda_const
 from .analysis import ProgramReport, analyze_program
 from .config import AbstractionConfig, CONC
 from .sib import find_abstract_sibs
 from .deadfail import Budget
+
+
+# ======================================================================
+# procedure-level dependency graph (call edges)
+# ======================================================================
+#
+# Call elaboration (§2.1) inlines a callee's *specification* — its
+# ``requires``/``ensures``, parameter/return signature and ``modifies``
+# clause — into every caller's prepared body, and nothing else: the
+# callee's own body never enters the caller's encoding.  A caller's
+# analysis therefore depends on exactly (a) its own surface text and
+# (b) the spec slice of each direct callee.  The incremental driver
+# (`repro.core.incremental`) uses these edges to invalidate callers
+# when a callee's spec changes while leaving body-only callee edits to
+# dirty just the callee itself.
+
+
+def stmt_callees(s: Stmt | None) -> set[str]:
+    """Names of every procedure called (transitively through the
+    statement tree) by ``s``."""
+    out: set[str] = set()
+    if s is None:
+        return out
+    if isinstance(s, CallStmt):
+        out.add(s.callee)
+    for child in stmt_children(s):
+        out |= stmt_callees(child)
+    return out
+
+
+def call_graph(program: Program) -> dict[str, tuple[str, ...]]:
+    """``caller -> sorted direct callees`` over the *surface* program
+    (pre-elaboration; elaborated bodies have no ``CallStmt`` left)."""
+    return {name: tuple(sorted(stmt_callees(proc.body)))
+            for name, proc in program.procedures.items()}
+
+
+def callers_of(program: Program) -> dict[str, tuple[str, ...]]:
+    """Reverse edges of :func:`call_graph`: ``callee -> sorted direct
+    callers``."""
+    rev: dict[str, set[str]] = {name: set() for name in program.procedures}
+    for caller, callees in call_graph(program).items():
+        for callee in callees:
+            rev.setdefault(callee, set()).add(caller)
+    return {name: tuple(sorted(callers)) for name, callers in rev.items()}
+
+
+def spec_fingerprint(proc: Procedure) -> str:
+    """Content hash of the slice of ``proc`` that call elaboration
+    inlines into callers: signature, ``requires``/``ensures``,
+    ``modifies`` and the declared types of parameters and returns.
+
+    Deliberately excludes the body (a body-only edit must not dirty
+    callers) and the name (a rename forces call-site edits in every
+    caller anyway, so the callers' own surface text already changes).
+    """
+    iface_types = {v: t for v, t in sorted(proc.var_types.items())
+                   if v in proc.params or v in proc.returns}
+    h = hashlib.sha256()
+    for part in (proc.params, proc.returns, iface_types, proc.modifies,
+                 proc.requires, proc.ensures):
+        h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def spec_dependents(program: Program, spec_changed: set[str]) -> set[str]:
+    """Procedures whose analysis a spec change in ``spec_changed``
+    invalidates: the direct callers of each changed procedure.
+
+    One level only, by construction: elaboration rewrites a call into
+    assert-pre / bind / assume-post using the callee's spec, so a
+    callee's *spec* reaches exactly its direct callers — the callers'
+    own specs are untouched, and their callers see nothing.
+    """
+    rev = callers_of(program)
+    out: set[str] = set()
+    for name in spec_changed:
+        out.update(rev.get(name, ()))
+    return out
 
 
 @dataclass

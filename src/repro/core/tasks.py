@@ -155,6 +155,8 @@ def _run_cons(task: AnalysisTask, cache) -> TaskResult:
         if hit is not None:
             return TaskResult(kind="cons", proc_name=task.proc_name,
                               cons_warnings=hit, cache_stats=cache.stats())
+    import time
+    start = time.monotonic()
     try:
         res = check_procedure(task.program, task.proc_name,
                               budget=Budget(task.timeout),
@@ -166,7 +168,7 @@ def _run_cons(task: AnalysisTask, cache) -> TaskResult:
                           cons_warnings=[], cons_timed_out=True,
                           cache_stats=cache.stats() if cache else None)
     if cache is not None:
-        cache.store_cons(key, res)
+        cache.store_cons(key, res, wall=time.monotonic() - start)
     return TaskResult(kind="cons", proc_name=task.proc_name,
                       cons_warnings=res.warnings,
                       cache_stats=cache.stats() if cache else None)

@@ -27,16 +27,24 @@ This pool is the long-lived alternative the analysis server runs on:
   and blocks until everything already accepted has finished — the
   building block for the server's SIGTERM handling.
 
+* **Priorities.**  :meth:`WorkerPool.submit` takes an integer
+  ``priority`` (lower runs first; default 0).  Equal priorities keep
+  strict FIFO order, so existing callers see the exact old behavior.
+  This is the scheduling hook the incremental CI driver
+  (`repro.core.incremental`) uses to run changed procedures before
+  dependency-dirtied ones, slowest-first within each class.
+
 Threading model: one dispatcher thread per worker slot, all pulling
-from one deque under a condition variable.  Results are delivered
-through ``concurrent.futures.Future`` (always ``set_result`` with a
-:class:`~repro.core.tasks.TaskResult`; infrastructure failures use the
-same ``failure`` shape as in-task exceptions).
+from one priority heap under a condition variable.  Results are
+delivered through ``concurrent.futures.Future`` (always ``set_result``
+with a :class:`~repro.core.tasks.TaskResult`; infrastructure failures
+use the same ``failure`` shape as in-task exceptions).
 """
 
 from __future__ import annotations
 
 import collections
+import heapq
 import multiprocessing
 import os
 import threading
@@ -90,8 +98,13 @@ class _Item:
     task: AnalysisTask
     future: Future
     deadline: float | None  # absolute time.monotonic(), None = unbounded
+    priority: int = 0       # lower runs first; ties keep FIFO order
+    seq: int = 0            # submission counter, the FIFO tie-breaker
     enqueued: float = field(default_factory=time.monotonic)
     attempts: int = 0
+
+    def heap_key(self) -> tuple[int, int]:
+        return (self.priority, self.seq)
 
 
 class _Slot:
@@ -125,7 +138,10 @@ class WorkerPool:
         self.start_timeout = start_timeout
         self.metrics = metrics  # optional ServerMetrics
         self._cv = threading.Condition()
-        self._items: collections.deque[_Item] = collections.deque()
+        # min-heap of (priority, seq, item): pops the lowest priority
+        # number first, FIFO within a priority level
+        self._items: list[tuple[int, int, _Item]] = []
+        self._seq = 0
         self._busy = 0
         self._closed = False     # no new submits
         self._stopping = False   # dispatcher threads should exit
@@ -166,17 +182,22 @@ class WorkerPool:
         self.close()
 
     def submit(self, task: AnalysisTask,
-               deadline_seconds: float | None = None) -> Future:
+               deadline_seconds: float | None = None,
+               priority: int = 0) -> Future:
         """Enqueue one task; the Future always resolves to a
         :class:`TaskResult` (failures are structured, not raised).
-        ``deadline_seconds`` is relative to now."""
+        ``deadline_seconds`` is relative to now.  ``priority`` orders
+        the queue: lower numbers dispatch first, equal numbers keep
+        FIFO submission order."""
         deadline = (time.monotonic() + deadline_seconds
                     if deadline_seconds is not None else None)
-        item = _Item(task=task, future=Future(), deadline=deadline)
         with self._cv:
             if self._closed:
                 raise PoolClosedError("pool is closed to new work")
-            self._items.append(item)
+            self._seq += 1
+            item = _Item(task=task, future=Future(), deadline=deadline,
+                         priority=priority, seq=self._seq)
+            heapq.heappush(self._items, (*item.heap_key(), item))
             self._cv.notify()
         return item.future
 
@@ -203,7 +224,7 @@ class WorkerPool:
         with self._cv:
             self._closed = True
             self._stopping = True
-            pending = list(self._items)
+            pending = [entry[2] for entry in self._items]
             self._items.clear()
             self._cv.notify_all()
         for item in pending:
@@ -309,7 +330,7 @@ class WorkerPool:
         with self._cv:
             while True:
                 while self._items:
-                    item = self._items.popleft()
+                    item = heapq.heappop(self._items)[2]
                     if item.future.cancelled():
                         self._cv.notify_all()
                         continue

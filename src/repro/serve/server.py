@@ -306,6 +306,13 @@ class AnalysisServer:
                 return error("bad_request", f"no such procedures: {missing}")
         deadline = msg.get("deadline", self.default_deadline)
         deadline = float(deadline) if deadline is not None else None
+        # scheduling hint for the pool's priority queue (lower runs
+        # first; incremental CI clients use it to front-load changed
+        # procedures) — plain FIFO when absent
+        try:
+            priority = int(msg.get("priority", 0))
+        except (TypeError, ValueError):
+            return error("bad_request", "priority must be an integer")
 
         self._next_id += 1
         req = _Request(f"q{self._next_id}", kind, config_name,
@@ -347,7 +354,8 @@ class AnalysisServer:
             flight.waiters.append((req, idx))
             self._inflight[key] = flight
             self._spawn(
-                self._run_flight(key, cache_key, flight, task, deadline))
+                self._run_flight(key, cache_key, flight, task, deadline,
+                                 priority=priority))
         req.state = "running" if req.done < len(tasks) else "done"
         self.metrics.inc("requests_accepted")
         self.metrics.inc("procs_submitted", len(tasks))
@@ -426,7 +434,8 @@ class AnalysisServer:
 
     async def _run_flight(self, key: str, cache_key: str | None,
                           flight: _Flight, task: AnalysisTask,
-                          deadline: float | None) -> None:
+                          deadline: float | None,
+                          priority: int = 0) -> None:
         """Produce one result for ``key``: neighbor peek when peers are
         configured, the worker pool otherwise; then populate the hot
         tier and deliver to every coalesced waiter."""
@@ -443,7 +452,8 @@ class AnalysisServer:
                     self.hot_cache.put(key, record)
         if result is None:
             try:
-                future = self.pool.submit(task, deadline_seconds=deadline)
+                future = self.pool.submit(task, deadline_seconds=deadline,
+                                          priority=priority)
             except PoolClosedError:
                 result = _pool_closed_result(task)
             else:
@@ -519,6 +529,18 @@ class AnalysisServer:
     def _deliver(self, req: _Request, idx: int, result) -> None:
         if req.slots[idx] is not None:
             return
+        # Content addresses are procedure-name-independent, so a result
+        # may arrive under another name: a rename served from the hot
+        # tier or disk cache, or a coalesced twin of a same-content
+        # procedure.  Rewrite on a copy — the original object may be
+        # shared with other waiters expecting their own names.
+        expected = req.proc_names[idx]
+        if result.failure is None and result.proc_name != expected:
+            from dataclasses import replace as _dc_replace
+            result = _dc_replace(result, proc_name=expected)
+            if result.report is not None:
+                result.report = _dc_replace(result.report,
+                                            proc_name=expected)
         req.slots[idx] = result
         req.done += 1
         if result.cache_stats:

@@ -55,13 +55,20 @@ def procedure_fingerprint(program: Program, proc: Procedure) -> str:
     key — used by the in-process baseline memo (`repro.core.deadfail`)
     and as the content-address of the persistent analysis cache
     (`repro.core.cache`).
+
+    The procedure's *name* is deliberately excluded: nothing in the
+    encoding depends on it (assert labels and ``lam$`` constants embed
+    *callee* names, which are body content), so a procedure that moves
+    to a new file or is renamed keeps its content address and its cache
+    entry.  Callers that need the name rewrite it on the loaded report.
     """
+    from dataclasses import replace
     h = hashlib.sha256()
     h.update(repr(sorted(program.globals.items())).encode())
     h.update(b"\x00")
     h.update(repr(sorted(program.functions.items())).encode())
     h.update(b"\x00")
-    h.update(repr(proc).encode())
+    h.update(repr(replace(proc, name="")).encode())
     return h.hexdigest()
 
 

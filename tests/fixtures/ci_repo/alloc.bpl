@@ -1,0 +1,10 @@
+// Shared heap model: Freed[p] == 1 once p has been released.
+var Freed: [int]int;
+
+procedure Release(p: int) modifies Freed;
+  requires Freed[p] == 0;
+  ensures Freed[p] == 1;
+{
+  R1: assert Freed[p] == 0;
+  Freed[p] := 1;
+}

@@ -1,0 +1,17 @@
+// The Figure 1 double-free shape: a genuine inconsistency warning.
+procedure Buggy(c: int, buf: int, cmd: int) modifies Freed;
+{
+  if (*) {
+    A1: assert Freed[c] == 0;  Freed[c] := 1;
+    A2: assert Freed[buf] == 0; Freed[buf] := 1;
+    return;
+  }
+  if (cmd == 0) {
+    if (*) {
+      A3: assert Freed[c] == 0;  Freed[c] := 1;
+      A4: assert Freed[buf] == 0; Freed[buf] := 1;
+    }
+  }
+  A5: assert Freed[c] == 0;  Freed[c] := 1;
+  A6: assert Freed[buf] == 0; Freed[buf] := 1;
+}

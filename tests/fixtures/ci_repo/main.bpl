@@ -1,0 +1,11 @@
+// Cross-file caller: Release lives in alloc.bpl.
+procedure Main(a: int, b: int) modifies Freed;
+{
+  if (*) {
+    call Release(a);
+    M1: assert Freed[a] == 1;
+    return;
+  }
+  call Release(b);
+  M2: assert Freed[b] == 1;
+}

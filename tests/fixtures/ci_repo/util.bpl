@@ -1,0 +1,9 @@
+// Leaf procedure with no calls in or out of the other files.
+procedure Clamp(x: int, lo: int, hi: int) returns (r: int)
+  ensures r >= lo;
+{
+  r := x;
+  if (r < lo) { r := lo; }
+  if (r > hi) { r := hi; }
+  U1: assert r >= lo;
+}

@@ -29,7 +29,7 @@ procedure {name}(c: int, buf: int, cmd: int) modifies Freed;
     A2: assert Freed[buf] == 0; Freed[buf] := 1;
     return;
   }}
-  if (cmd == 0) {{
+  if (cmd == {salt}) {{
     if (*) {{
       A3: assert Freed[c] == 0;  Freed[c] := 1;
       A4: assert Freed[buf] == 0; Freed[buf] := 1;
@@ -42,8 +42,14 @@ procedure {name}(c: int, buf: int, cmd: int) modifies Freed;
 
 
 def _program_src(prefix: str, count: int) -> str:
+    # Content addresses ignore procedure names, so every generated
+    # procedure gets a *body* unique to (prefix, i) — otherwise all of
+    # them would coalesce onto one flight / hot-tier entry and the
+    # distribution and failover assumptions below would not hold.
+    salt0 = sum(ord(ch) for ch in prefix) % 1000
     return "var Freed: [int]int;\n" + "".join(
-        _FIG1_BODY.format(name=f"{prefix}{i}") for i in range(count))
+        _FIG1_BODY.format(name=f"{prefix}{i}", salt=salt0 * 100 + i)
+        for i in range(count))
 
 
 _VOLATILE = {"seconds", "phases", "budget_remaining", "solver_stats",

@@ -154,7 +154,10 @@ class TestCoalescingAndHotTier:
         # then submit the same never-seen program from a second client:
         # its tasks must ride the first client's in-flight computations
         # (same shard by consistent hashing), not enqueue new ones.
-        src = FIG1_BPL.replace("Foo", "TwinProbe")
+        # Content addresses ignore procedure names, so freshness needs
+        # a never-seen *body* (the changed constant), not just a rename.
+        src = FIG1_BPL.replace("Foo", "TwinProbe").replace(
+            "cmd == 0", "cmd == 41")
         blockers = [s.server.pool.submit(
             AnalysisTask(kind="sleep", payload=0.5))
             for s in fleet.servers]
@@ -170,7 +173,8 @@ class TestCoalescingAndHotTier:
         assert r1["report"]["reports"] == r2["report"]["reports"]
 
     def test_repeat_request_served_from_hot_tier(self, fleet):
-        src = FIG1_BPL.replace("Foo", "HotProbe")
+        src = FIG1_BPL.replace("Foo", "HotProbe").replace(
+            "cmd == 0", "cmd == 42")
         with fleet.client() as c:
             c.analyze(src)
             before = _replica_counter(fleet, "hot_hits")
@@ -179,11 +183,11 @@ class TestCoalescingAndHotTier:
         assert not rep.reports[0].failed
 
     def test_peek_verb_answers_from_hot_tier(self, fleet):
-        src = FIG1_BPL.replace("Foo", "PeekProbe")
+        src = FIG1_BPL.replace("Foo", "PeekProbe").replace(
+            "cmd == 0", "cmd == 43")
         with fleet.client() as c:
             c.analyze(src)
-        program = typecheck(parse_program(FIG1_BPL.replace("Foo",
-                                                           "PeekProbe")))
+        program = typecheck(parse_program(src))
         task = AnalysisTask(kind="analyze", proc_name="PeekProbe",
                             program=program)
         key, cache_key = task_keys(task)

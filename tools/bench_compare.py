@@ -12,7 +12,11 @@ a solver change locally::
 Also understands ``BENCH_serve.json`` from the serving load generator
 (``benchmarks/test_serve_load.py``): records carrying latency
 aggregates (``throughput_rps``/``p50_ms``/``p99_ms``) get a
-latency-delta row instead of solver counters.
+latency-delta row instead of solver counters.  And
+``BENCH_incremental.json`` from the CI-mode smoke (``tools/ci_smoke.py``):
+records carrying dirty-set sizes (``dirty``/``analyzed``/``clean``) get
+a dirty-set delta row — a growing dirty count on the same scripted diff
+means the dependency analysis got coarser.
 
 Exit status is 0 unless the overall wall time regressed by more than
 ``--fail-factor`` (default 2.0; CI machines are noisy, so only a gross
@@ -61,6 +65,19 @@ def _serve_row(name: str, old: dict, new: dict) -> str:
             f" {_num(new, 'p50_ms'):>6.0f}ms"
             f"  p99 {_num(old, 'p99_ms'):>6.0f}ms ->"
             f" {_num(new, 'p99_ms'):>6.0f}ms")
+
+
+def _incremental_row(name: str, old: dict, new: dict) -> str:
+    """Incremental-CI records (BENCH_incremental.json) carry dirty-set
+    sizes: wall/query deltas plus analyzed-vs-clean counts."""
+    ow, nw = _num(old, "wall_seconds"), _num(new, "wall_seconds")
+    return (f"  {name:<24} wall {ow:7.3f}s -> {nw:7.3f}s ({_delta(ow, nw)})"
+            f"  queries {_num(old, 'queries'):>5} ->"
+            f" {_num(new, 'queries'):>5}"
+            f"  dirty {_num(old, 'dirty'):>3.0f} ->"
+            f" {_num(new, 'dirty'):>3.0f}"
+            f"  clean {_num(old, 'clean'):>3.0f} ->"
+            f" {_num(new, 'clean'):>3.0f}")
 
 
 def _row(name: str, old: dict, new: dict) -> str:
@@ -127,6 +144,10 @@ def compare(old: dict, new: dict, out=sys.stdout) -> tuple[float, float]:
             if ("throughput_rps" in olds[name]
                     and "throughput_rps" in news[name]):
                 print(_serve_row(name, olds[name], news[name]), file=out)
+                continue
+            if "dirty" in olds[name] and "dirty" in news[name]:
+                print(_incremental_row(name, olds[name], news[name]),
+                      file=out)
                 continue
             print(_row(name, section_aggregate(olds[name]),
                        section_aggregate(news[name])), file=out)
