@@ -50,7 +50,7 @@ class SuiteRun:
 
 
 def compile_suite(suite: Suite) -> Program:
-    return compile_c(suite.c_source)
+    return compile_c(suite.c_source, bug_classes=suite.bug_classes)
 
 
 def run_suite(suite: Suite, config: AbstractionConfig,

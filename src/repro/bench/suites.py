@@ -61,6 +61,10 @@ class Suite:
     # (function name, assertion label) -> buggy?
     labels: dict = field(default_factory=dict)
     functions: list = field(default_factory=list)
+    #: assertion families the lowering should insert for this suite
+    #: (None = the frontend's historical default set); see
+    #: `repro.scenarios.classes`
+    bug_classes: frozenset | None = None
 
     @property
     def loc_c(self) -> int:
@@ -425,8 +429,16 @@ void bar(void);
 
 
 def build_suite(name: str, description: str, mix: dict, seed: int,
-                scale: float = 1.0) -> Suite:
-    """Assemble a suite from a {pattern: count} mixture (scaled)."""
+                scale: float = 1.0, patterns: dict | None = None,
+                bug_classes: frozenset | None = None) -> Suite:
+    """Assemble a suite from a {pattern: count} mixture (scaled).
+
+    ``patterns`` overrides the emitter catalog (the bug-class scenario
+    suites supply their own, see `repro.scenarios.generators`);
+    ``bug_classes`` is recorded on the suite and selects the assertion
+    families :func:`repro.bench.runner.compile_suite` asks the lowering
+    for."""
+    catalog = PATTERNS if patterns is None else patterns
     rng = random.Random(seed)
     parts: list[str] = [_PRELUDE]
     labels: dict = {}
@@ -440,14 +452,14 @@ def build_suite(name: str, description: str, mix: dict, seed: int,
     for pattern in order:
         idx += 1
         fname = f"{name}_f{idx}"
-        gf = PATTERNS[pattern](rng, fname)
+        gf = catalog[pattern](rng, fname)
         parts.append(gf.code)
         functions.append(gf)
         for label, buggy in gf.labels.items():
             labels[(fname, label)] = buggy
     return Suite(name=name, description=description,
                  c_source="\n".join(parts), labels=labels,
-                 functions=functions)
+                 functions=functions, bug_classes=bug_classes)
 
 
 # ======================================================================
@@ -550,6 +562,12 @@ def make_suite(name: str, scale: float = 1.0, seed: int | None = None) -> Suite:
     elif name in LARGE_SUITE_RECIPES:
         desc, mix = LARGE_SUITE_RECIPES[name]
     else:
+        # lazy: the scenario suites live in repro.scenarios.generators,
+        # which imports this module for Suite/build_suite
+        from ..scenarios.generators import SCENARIO_SUITE_RECIPES, \
+            make_scenario_suite
+        if name in SCENARIO_SUITE_RECIPES:
+            return make_scenario_suite(name, scale=scale, seed=seed)
         raise KeyError(f"unknown suite {name!r}")
     if seed is None:
         seed = sum(ord(ch) for ch in name) * 7919

@@ -73,6 +73,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="analyze only this procedure")
     ap.add_argument("--unroll", type=int, default=2,
                     help="loop unrolling depth (default 2, as in the paper)")
+    ap.add_argument("--bug-classes", metavar="SPEC", default=None,
+                    help="comma-separated automatic assertion families the "
+                         "mini-C lowering inserts (e.g. 'use-after-free,"
+                         "divide-by-zero'; aliases: 'default', 'all').  "
+                         "Only meaningful with --c; see docs/scenarios.md")
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="analyze procedures in N worker processes "
                          "(default 1: serial, deterministic)")
@@ -258,6 +263,18 @@ def build_ci_parser() -> argparse.ArgumentParser:
                     help="loop unrolling depth (default 2)")
     ap.add_argument("--max-preds", type=int, default=12, metavar="N",
                     help="predicate vocabulary bound (default 12)")
+    ap.add_argument("--bug-classes", metavar="SPEC", default=None,
+                    help="comma-separated automatic assertion families the "
+                         "mini-C lowering inserts (aliases: 'default', "
+                         "'all'); part of the manifest's config "
+                         "fingerprint, so changing it invalidates the "
+                         "manifest (docs/scenarios.md)")
+    ap.add_argument("--changed-files", metavar="FILE", default=None,
+                    help="newline-separated repo-relative paths the VCS "
+                         "says this diff touched; the planner skips "
+                         "fingerprinting procedures in untouched files "
+                         "entirely, reusing the previous manifest's "
+                         "fingerprints")
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="run the dirty set on N priority-pool workers "
                          "(default 1: serial, in plan order)")
@@ -286,12 +303,30 @@ def run_ci_cmd(argv: list[str], out=sys.stdout) -> int:
     manifest_path = args.manifest or os.path.join(
         args.dir, ".repro-manifest.json")
     cache_dir = None if args.no_cache else args.cache_dir
+    bug_classes = None
+    if args.bug_classes is not None:
+        from .scenarios.classes import parse_bug_classes
+        try:
+            bug_classes = parse_bug_classes(args.bug_classes)
+        except ValueError as exc:
+            print(f"error: --bug-classes: {exc}", file=sys.stderr)
+            return 2
+    changed_files = None
+    if args.changed_files is not None:
+        try:
+            text = open(args.changed_files).read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        changed_files = [ln.strip() for ln in text.splitlines()
+                         if ln.strip()]
     try:
         result = run_ci(args.dir, manifest_path,
                         config=BY_NAME[args.config], prune_k=args.prune_k,
                         timeout=args.timeout, unroll_depth=args.unroll,
                         max_preds=args.max_preds, jobs=args.jobs,
-                        cache_dir=cache_dir)
+                        cache_dir=cache_dir, bug_classes=bug_classes,
+                        changed_files=changed_files)
     except IngestError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -306,6 +341,10 @@ def run_ci_cmd(argv: list[str], out=sys.stdout) -> int:
           f"({counts['changed']} changed, {counts['renamed']} renamed, "
           f"{counts['new']} new, {counts['dependent']} dependent), "
           f"{counts['clean']} clean [{plan.reason}]", file=out)
+    if changed_files is not None and stats["fingerprints_skipped"]:
+        print(f"ci: explicit diff skipped fingerprinting "
+              f"{stats['fingerprints_skipped']} untouched procedures",
+              file=out)
     for name in plan.order:
         report = result.reports[name]
         header = f"{name} [{args.config}]"
@@ -323,6 +362,12 @@ def run_ci_cmd(argv: list[str], out=sys.stdout) -> int:
         d = result.delta[cls]
         print(f"delta[{cls}]: {len(d['new'])} new, {len(d['fixed'])} fixed, "
               f"{len(d['unchanged'])} unchanged", file=out)
+        new_by_bug = {b: c["new"] for b, c in d.get("bug_classes",
+                                                    {}).items() if c["new"]}
+        if new_by_bug:
+            print("  new by class: " + ", ".join(
+                f"{b}={n}" for b, n in sorted(new_by_bug.items())),
+                file=out)
         for w in d["new"]:
             print(f"  NEW {w}", file=out)
 
@@ -338,6 +383,7 @@ def run_ci_cmd(argv: list[str], out=sys.stdout) -> int:
             "dirty": stats["analyzed"],
             "clean": stats["clean"],
             "procedures": stats["procedures"],
+            "fingerprints_skipped": stats["fingerprints_skipped"],
         }}}
         with open(args.bench_out, "w") as fh:
             _json.dump({"incremental_ci": section}, fh, indent=2,
@@ -451,8 +497,10 @@ def _print_reports(by_key, proc_names, configs, prune_k, show_cons,
                    out) -> tuple[bool, bool]:
     """Render per-procedure reports exactly the same way for the batch
     and submit paths (CI diffs their outputs byte-for-byte)."""
+    from .scenarios.classes import bug_class_of
     any_warning = False
     any_failure = False
+    bug_counts: dict = {}
     for name in proc_names:
         for config in configs:
             report = by_key[(name, config.name)]
@@ -475,7 +523,12 @@ def _print_reports(by_key, proc_names, configs, prune_k, show_cons,
                 print(f"  almost-correct spec: {spec}", file=out)
             for w in report.warnings:
                 any_warning = True
+                bug = bug_class_of(w)
+                bug_counts[bug] = bug_counts.get(bug, 0) + 1
                 print(f"  WARNING {w}", file=out)
+    if bug_counts:
+        print("warnings by bug class: " + ", ".join(
+            f"{b}={n}" for b, n in sorted(bug_counts.items())), file=out)
     return any_warning, any_failure
 
 
@@ -495,9 +548,18 @@ def run(argv: list[str] | None = None, out=sys.stdout) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    bug_classes = None
+    if getattr(args, "bug_classes", None) is not None:
+        from .scenarios.classes import parse_bug_classes
+        try:
+            bug_classes = parse_bug_classes(args.bug_classes)
+        except ValueError as exc:
+            print(f"error: --bug-classes: {exc}", file=sys.stderr)
+            return 2
     try:
         if args.c_mode:
-            program = compile_c(source, unroll_depth=args.unroll)
+            program = compile_c(source, unroll_depth=args.unroll,
+                                bug_classes=bug_classes)
         else:
             program = typecheck(parse_program(source))
     except (SyntaxError, TypeError, ValueError) as exc:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from ..lang.ast import Program
 from ..lang.transform import prepare_procedure
+from ..scenarios.classes import bug_class_counts
 from ..smt.allsat import AllSatBudgetExceeded
 from ..smt.theories.lia import LiaBudgetExceeded
 from .acspec import SearchBudgetExceeded
@@ -61,6 +62,9 @@ class ProcedureReport:
     status: str = SibStatus.CORRECT
     warnings: list = field(default_factory=list)
     conservative_warnings: list = field(default_factory=list)
+    # per-bug-class counts over ``warnings`` (label-prefix derived, see
+    # repro.scenarios.classes.bug_class_of), sorted by class name
+    bug_classes: dict = field(default_factory=dict)
     specs: list = field(default_factory=list)
     n_preds: int = 0
     n_cover_clauses: int = 0
@@ -111,6 +115,17 @@ class ProgramReport:
     @property
     def warned_procs(self) -> list[str]:
         return [r.proc_name for r in self.reports if r.warnings]
+
+    def bug_class_totals(self) -> dict:
+        """Per-bug-class warning counts summed over the sweep (timed-out
+        procedures excluded, like ``n_warnings``), sorted by class."""
+        totals: dict = {}
+        for r in self.reports:
+            if r.timed_out:
+                continue
+            for cls, n in r.bug_classes.items():
+                totals[cls] = totals.get(cls, 0) + n
+        return {cls: totals[cls] for cls in sorted(totals)}
 
     def avg(self, attr: str) -> float:
         vals = [getattr(r, attr) for r in self.reports
@@ -188,6 +203,7 @@ def analyze_procedure(program: Program, proc_name: str,
         report.status = res.status
         report.warnings = res.warnings
         report.conservative_warnings = res.conservative_warnings
+        report.bug_classes = bug_class_counts(res.warnings)
         report.specs = res.specs
         report.n_preds = len(res.preds)
         report.n_cover_clauses = res.n_cover_clauses

@@ -57,7 +57,10 @@ from .deadfail import seed_baselines
 #: renamed/moved procedure keeps its entry) and records carry a
 #: top-level ``wall`` so schedulers can read historical cost without
 #: reconstructing the report.
-SCHEMA_VERSION = 3
+#: v4: ``ProcedureReport`` gained ``bug_classes`` (per-warning-class
+#: counts derived from label prefixes); v3 records lack the field and
+#: must miss cleanly.
+SCHEMA_VERSION = 4
 
 
 def _digest(*parts: str) -> str:

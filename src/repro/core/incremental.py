@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..frontend.ingest import IngestedRepo, ingest_directory
+from ..scenarios.classes import DEFAULT_CLASSES, bug_class_of
 from ..vc.encode import procedure_fingerprint
 from .analysis import _reraise_certificate, failure_report
 from .cache import merge_cache_stats
@@ -91,17 +92,21 @@ _CLASS_FIELD = {"high": "warnings", "cons": "conservative_warnings"}
 
 
 def config_fingerprint(config: AbstractionConfig, *, prune_k: int | None,
-                       unroll_depth: int, max_preds: int) -> dict:
+                       unroll_depth: int, max_preds: int,
+                       bug_classes: frozenset[str] | None = None) -> dict:
     """The budget-insensitive analysis knobs a manifest is valid under.
     Mirrors the persistent cache key's configuration slice: a manifest
     produced under different knobs says nothing about this run, so a
-    mismatch dirties everything."""
+    mismatch dirties everything.  ``bug_classes`` is part of the slice
+    because it changes what the ``.c`` lowering *asserts*."""
     return {"config_name": config.name,
             "ignore_conditionals": config.ignore_conditionals,
             "havoc_returns": config.havoc_returns,
             "prune_k": prune_k,
             "unroll_depth": unroll_depth,
-            "max_preds": max_preds}
+            "max_preds": max_preds,
+            "bug_classes": sorted(DEFAULT_CLASSES if bug_classes is None
+                                  else bug_classes)}
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +168,9 @@ class IncrementPlan:
     surface_fps: dict = field(default_factory=dict)
     spec_fps: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
+    #: fingerprint computations an explicit ``--changed-files`` diff let
+    #: the planner skip (carried over from the previous manifest)
+    fingerprints_skipped: int = 0
 
     @property
     def dirty(self) -> list:
@@ -183,19 +191,24 @@ class IncrementPlan:
 def plan_increment(repo: IngestedRepo, previous: dict | None, *,
                    config: AbstractionConfig = CONC,
                    prune_k: int | None = None, unroll_depth: int = 2,
-                   max_preds: int = 12) -> IncrementPlan:
+                   max_preds: int = 12,
+                   bug_classes: frozenset[str] | None = None,
+                   changed_files: list | set | None = None) -> IncrementPlan:
     """Classify every procedure of ``repo`` against ``previous`` (a
-    manifest dict or ``None``) and schedule the dirty set."""
+    manifest dict or ``None``) and schedule the dirty set.
+
+    ``changed_files`` is an optional explicit VCS diff: repo-relative
+    paths the caller *knows* are the only ones touched.  Procedures
+    defined in any other file reuse the previous manifest's surface and
+    spec fingerprints without recomputing them (a pure planning-time
+    saving — the dirty-set classification itself is unchanged, because
+    an untouched file's fingerprints cannot have moved)."""
     program = repo.program
     bodied = [n for n, p in program.procedures.items() if p.body is not None]
     cfg = config_fingerprint(config, prune_k=prune_k,
-                             unroll_depth=unroll_depth, max_preds=max_preds)
+                             unroll_depth=unroll_depth, max_preds=max_preds,
+                             bug_classes=bug_classes)
     plan = IncrementPlan(reason="diff", config=cfg)
-    plan.surface_fps = {n: procedure_fingerprint(program,
-                                                 program.procedures[n])
-                        for n in bodied}
-    plan.spec_fps = {n: spec_fingerprint(p)
-                     for n, p in program.procedures.items()}
 
     prev_procs = previous.get("procedures", {}) if previous else {}
     if previous is None:
@@ -204,11 +217,31 @@ def plan_increment(repo: IngestedRepo, previous: dict | None, *,
     elif previous.get("config") != cfg:
         plan.reason = "config"
         prev_procs = {}
+    prev_spec = previous.get("spec_fps", {}) if plan.reason == "diff" else {}
+
+    # An explicit diff only helps against a same-config manifest: a
+    # cold/config run has nothing trustworthy to carry fingerprints
+    # from.
+    touched = set(changed_files) if (changed_files is not None
+                                     and plan.reason == "diff") else None
+    for name, proc in program.procedures.items():
+        untouched = (touched is not None
+                     and repo.proc_files.get(name) not in touched)
+        if untouched and name in prev_spec \
+                and (proc.body is None
+                     or prev_procs.get(name, {}).get("surface_fp")):
+            if proc.body is not None:
+                plan.surface_fps[name] = prev_procs[name]["surface_fp"]
+            plan.spec_fps[name] = prev_spec[name]
+            plan.fingerprints_skipped += 1
+            continue
+        if proc.body is not None:
+            plan.surface_fps[name] = procedure_fingerprint(program, proc)
+        plan.spec_fps[name] = spec_fingerprint(proc)
 
     plan.removed = sorted(set(prev_procs) - set(bodied))
     removed_by_fp = {prev_procs[n].get("surface_fp"): n
                      for n in plan.removed}
-    prev_spec = previous.get("spec_fps", {}) if plan.reason == "diff" else {}
     spec_changed = {n for n, fp in plan.spec_fps.items()
                     if prev_spec.get(n) != fp}
     dependents = spec_dependents(program, spec_changed)
@@ -277,16 +310,30 @@ def _warning_set(procs: dict, cls: str) -> set:
 def warning_delta(previous: dict | None, manifest: dict) -> dict:
     """New / fixed / unchanged warnings per confidence class, between
     two manifests.  Entries are ``"proc:label"`` strings, sorted, so
-    the rendered delta is canonical."""
+    the rendered delta is canonical.  Each class also carries a
+    ``bug_classes`` breakdown: per label-prefix-derived bug class (see
+    `repro.scenarios.classes`), how many of its warnings are new /
+    fixed / unchanged — only classes with at least one warning appear,
+    keeping the rendered delta stable for repos without the new
+    assertion families."""
     prev_procs = previous.get("procedures", {}) if previous else {}
     new_procs = manifest["procedures"]
     out = {}
     for cls in WARNING_CLASSES:
         before = _warning_set(prev_procs, cls)
         after = _warning_set(new_procs, cls)
-        out[cls] = {"new": sorted(after - before),
-                    "fixed": sorted(before - after),
-                    "unchanged": sorted(before & after)}
+        entry = {"new": sorted(after - before),
+                 "fixed": sorted(before - after),
+                 "unchanged": sorted(before & after)}
+        by_bug: dict = {}
+        for kind in ("new", "fixed", "unchanged"):
+            for item in entry[kind]:
+                bug = bug_class_of(item.split(":", 1)[1])
+                slot = by_bug.setdefault(
+                    bug, {"new": 0, "fixed": 0, "unchanged": 0})
+                slot[kind] += 1
+        entry["bug_classes"] = {b: by_bug[b] for b in sorted(by_bug)}
+        out[cls] = entry
     return out
 
 
@@ -323,6 +370,23 @@ class CiResult:
         return sorted(n for n, r in self.reports.items() if r.failed)
 
 
+def _normalize_changed(root: Path, files: list | set) -> set:
+    """Repo-relative forms of an explicit diff's paths (absolute paths
+    are re-expressed against ``root``; already-relative ones pass
+    through)."""
+    resolved = root.resolve()
+    out = set()
+    for f in files:
+        p = Path(f)
+        if p.is_absolute():
+            try:
+                p = p.resolve().relative_to(resolved)
+            except ValueError:
+                pass  # outside the repo: keep verbatim (matches nothing)
+        out.add(str(p))
+    return out
+
+
 def run_ci(root: str | os.PathLike,
            manifest_path: str | os.PathLike | None = None, *,
            previous: dict | None = None,
@@ -333,7 +397,9 @@ def run_ci(root: str | os.PathLike,
            max_preds: int = 12,
            lia_budget: int = 20000,
            jobs: int = 1,
-           cache_dir: str | None = None) -> CiResult:
+           cache_dir: str | None = None,
+           bug_classes: frozenset[str] | None = None,
+           changed_files: list | set | None = None) -> CiResult:
     """One incremental CI run over the repository at ``root``.
 
     Reads the previous manifest from ``manifest_path`` (or takes it as
@@ -348,11 +414,16 @@ def run_ci(root: str | os.PathLike,
     analysis failures are folded into the reports instead.
     """
     start = time.monotonic()
-    repo = ingest_directory(root, unroll_depth=unroll_depth)
+    repo = ingest_directory(root, unroll_depth=unroll_depth,
+                            bug_classes=bug_classes)
     if previous is None and manifest_path is not None:
         previous = load_manifest(manifest_path)
+    if changed_files is not None:
+        changed_files = _normalize_changed(Path(root), changed_files)
     plan = plan_increment(repo, previous, config=config, prune_k=prune_k,
-                          unroll_depth=unroll_depth, max_preds=max_preds)
+                          unroll_depth=unroll_depth, max_preds=max_preds,
+                          bug_classes=bug_classes,
+                          changed_files=changed_files)
 
     tasks = [AnalysisTask(kind="analyze", proc_name=name,
                           program=repo.program, config_name=config.name,
@@ -390,6 +461,7 @@ def run_ci(root: str | os.PathLike,
             "failed": report.failed,
             "warnings": list(report.warnings),
             "conservative_warnings": list(report.conservative_warnings),
+            "bug_classes": dict(report.bug_classes),
         }
 
     manifest = {"schema": MANIFEST_SCHEMA,
@@ -412,6 +484,7 @@ def run_ci(root: str | os.PathLike,
              "analyzed": len(plan.order),
              "clean": len(plan.clean),
              "classes": plan.counts(),
+             "fingerprints_skipped": plan.fingerprints_skipped,
              "queries": queries - cache_stats.get("queries_served", 0),
              "cache": cache_stats}
     return CiResult(plan=plan, manifest=manifest, delta=delta,

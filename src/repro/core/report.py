@@ -78,6 +78,12 @@ class TriagedWarning:
     confidence: str           # DOOMED | HIGH | MEDIUM | LOW
     configs: list = field(default_factory=list)
     spec: str = ""            # the almost-correct spec that revealed it
+    bug_class: str = ""       # label-prefix-derived (scenarios.classes)
+
+    def __post_init__(self) -> None:
+        if not self.bug_class:
+            from ..scenarios.classes import bug_class_of
+            self.bug_class = bug_class_of(self.label)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         via = ", ".join(self.configs)

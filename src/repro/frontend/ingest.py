@@ -70,11 +70,13 @@ def discover_sources(root: str | Path) -> list[Path]:
                   key=lambda p: str(p.relative_to(root)))
 
 
-def _parse_one(path: Path, unroll_depth: int) -> Program:
+def _parse_one(path: Path, unroll_depth: int,
+               bug_classes: frozenset[str] | None = None) -> Program:
     text = path.read_text()
     if path.suffix in C_SUFFIXES:
         from .lower import compile_c
-        return compile_c(text, unroll_depth=unroll_depth)
+        return compile_c(text, unroll_depth=unroll_depth,
+                         bug_classes=bug_classes)
     return parse_program(text)
 
 
@@ -114,9 +116,12 @@ def merge_programs(parts: list[tuple[str, Program]]) -> tuple[Program, dict]:
 
 
 def ingest_paths(root: str | Path, paths: list[Path],
-                 unroll_depth: int = 2) -> IngestedRepo:
+                 unroll_depth: int = 2,
+                 bug_classes: frozenset[str] | None = None) -> IngestedRepo:
     """Parse and merge an explicit file list (repo-relative provenance
-    is computed against ``root``)."""
+    is computed against ``root``).  ``bug_classes`` selects the
+    automatic assertion families the ``.c`` lowering inserts (see
+    `repro.scenarios.classes`; ``.bpl`` files are unaffected)."""
     root = Path(root)
     parts: list[tuple[str, Program]] = []
     digests: dict = {}
@@ -126,7 +131,7 @@ def ingest_paths(root: str | Path, paths: list[Path],
         data = path.read_bytes()
         digests[rel] = hashlib.sha256(data).hexdigest()
         try:
-            parts.append((rel, _parse_one(path, unroll_depth)))
+            parts.append((rel, _parse_one(path, unroll_depth, bug_classes)))
         except (SyntaxError, TypeError, ValueError) as exc:
             raise IngestError(f"{rel}: {exc}") from exc
     program, proc_files = merge_programs(parts)
@@ -140,11 +145,14 @@ def ingest_paths(root: str | Path, paths: list[Path],
 
 
 def ingest_directory(root: str | Path,
-                     unroll_depth: int = 2) -> IngestedRepo:
+                     unroll_depth: int = 2,
+                     bug_classes: frozenset[str] | None = None
+                     ) -> IngestedRepo:
     """Discover, parse, merge and typecheck every source under
     ``root``."""
     root = Path(root)
     paths = discover_sources(root)
     if not paths:
         raise IngestError(f"no .bpl or .c sources under {root}")
-    return ingest_paths(root, paths, unroll_depth=unroll_depth)
+    return ingest_paths(root, paths, unroll_depth=unroll_depth,
+                        bug_classes=bug_classes)

@@ -44,6 +44,9 @@ from .cast import (CAssert, CAssign, CBinary, CBlock, CCall, CCast, CDecl,
                    CInt, CNull, CReturn, CSizeof, CStmt, CTranslationUnit,
                    CType, CUnary, CVar, CWhile, INT)
 from .cparser import parse_c
+from ..scenarios.classes import (BUFFER_OVERFLOW, DEFAULT_CLASSES,
+                                 DIVIDE_BY_ZERO, DOUBLE_FREE, LOCK_PROTOCOL,
+                                 NULL_DEREF, USE_AFTER_FREE, USE_BEFORE_INIT)
 
 
 class LowerError(ValueError):
@@ -53,6 +56,13 @@ class LowerError(ValueError):
 MEM = "Mem"
 FREED = "Freed"
 LOCKED = "Locked"
+ALLOC_SIZE = "AllocSize"
+INIT = "Init"
+
+#: External calls modeled as allocation sites: their result gets an
+#: ``AllocSize`` entry (buffer-overflow class) and a fresh
+#: ``Freed[r] := 0`` fact (use-after-free class).
+ALLOCATORS = frozenset({"malloc", "calloc"})
 
 
 def field_map(name: str) -> str:
@@ -62,12 +72,14 @@ def field_map(name: str) -> str:
 class FunctionLowerer:
     def __init__(self, unit: CTranslationUnit, fn: CFunction,
                  map_globals: list[str], conservative_modifies: bool,
-                 unroll_depth: int):
+                 unroll_depth: int,
+                 bug_classes: frozenset[str] = DEFAULT_CLASSES):
         self.unit = unit
         self.fn = fn
         self.map_globals = map_globals
         self.conservative_modifies = conservative_modifies
         self.unroll_depth = unroll_depth
+        self.bug_classes = bug_classes
         self.scopes: list[dict[str, str]] = [{}]
         self.types: dict[str, CType] = {}
         self.locals: list[str] = []
@@ -78,6 +90,14 @@ class FunctionLowerer:
         self._lockl = {"lock": itertools.count(1),
                        "unlock": itertools.count(1)}
         self._userl = itertools.count(1)
+        self._uafl = itertools.count(1)
+        self._boundl = itertools.count(1)
+        self._divl = itertools.count(1)
+        self._uninitl = itertools.count(1)
+        self._uninit_slot = itertools.count(1)
+        #: IL name of a local declared without an initializer -> its
+        #: integer slot in the ``Init`` map (use-before-init class)
+        self.uninit_slots: dict[str, int] = {}
         self._tmp = itertools.count(1)
         self.used_externals: set[str] = set()
 
@@ -139,6 +159,7 @@ class FunctionLowerer:
             return inner, e.type
         if isinstance(e, CVar):
             il = self.lookup(e.name)
+            self.uninit_check(il, pre)
             return VarExpr(il), self.type_of_name(il)
         if isinstance(e, CUnary):
             if e.op == "-":
@@ -164,8 +185,10 @@ class FunctionLowerer:
             if e.op == "*":
                 return BinExpr("*", lhs, rhs), INT
             if e.op == "/":
+                self.div_check(rhs, pre)
                 return FunAppExpr("div$", (lhs, rhs)), INT
             if e.op == "%":
+                self.div_check(rhs, pre)
                 return FunAppExpr("mod$", (lhs, rhs)), INT
             raise LowerError(f"unsupported binary {e.op!r}")
         if isinstance(e, CField):
@@ -177,6 +200,7 @@ class FunctionLowerer:
             base, ty = self.lower_expr(e.base, pre)
             idx, _ = self.lower_expr(e.index, pre)
             self.null_check(base, pre)
+            self.bounds_check(base, idx, pre)
             return SelectExpr(VarExpr(MEM), BinExpr("+", base, idx)), self._elem(ty)
         if isinstance(e, CCall):
             return self.lower_call(e, pre)
@@ -206,8 +230,47 @@ class FunctionLowerer:
         return INT
 
     def null_check(self, addr: Expr, pre: list[Stmt]) -> None:
-        pre.append(AssertStmt(RelExpr("!=", addr, IntLit(0)),
-                              label=f"deref${next(self._deref)}"))
+        """The per-dereference automatic checks: HAVOC's null check
+        (``deref$``), plus — when the class is enabled — the
+        use-after-free check over the ``Freed`` map (``uaf$``)."""
+        if NULL_DEREF in self.bug_classes:
+            pre.append(AssertStmt(RelExpr("!=", addr, IntLit(0)),
+                                  label=f"deref${next(self._deref)}"))
+        if USE_AFTER_FREE in self.bug_classes:
+            pre.append(AssertStmt(
+                RelExpr("==", SelectExpr(VarExpr(FREED), addr), IntLit(0)),
+                label=f"uaf${next(self._uafl)}"))
+
+    def bounds_check(self, base: Expr, idx: Expr, pre: list[Stmt]) -> None:
+        """``assert 0 <= i && i < AllocSize[base]`` at an indexed
+        access (buffer-overflow class)."""
+        if BUFFER_OVERFLOW in self.bug_classes:
+            pre.append(AssertStmt(
+                mk_and(RelExpr("<=", IntLit(0), idx),
+                       RelExpr("<", idx,
+                               SelectExpr(VarExpr(ALLOC_SIZE), base))),
+                label=f"bound${next(self._boundl)}"))
+
+    def div_check(self, divisor: Expr, pre: list[Stmt]) -> None:
+        """``assert d != 0`` before ``/`` and ``%`` (divide-by-zero)."""
+        if DIVIDE_BY_ZERO in self.bug_classes:
+            pre.append(AssertStmt(RelExpr("!=", divisor, IntLit(0)),
+                                  label=f"div${next(self._divl)}"))
+
+    def uninit_check(self, il_name: str, pre: list[Stmt]) -> None:
+        """``assert Init[slot] != 0`` before a read of a tracked
+        (declared-without-initializer) local (use-before-init)."""
+        slot = self.uninit_slots.get(il_name)
+        if slot is not None:
+            pre.append(AssertStmt(
+                RelExpr("!=", SelectExpr(VarExpr(INIT), IntLit(slot)),
+                        IntLit(0)),
+                label=f"uninit${next(self._uninitl)}"))
+
+    def mark_initialized(self, il_name: str, pre: list[Stmt]) -> None:
+        slot = self.uninit_slots.get(il_name)
+        if slot is not None:
+            pre.append(MapAssignStmt(INIT, IntLit(slot), IntLit(1)))
 
     # ------------------------------------------------------------------
     # calls
@@ -226,9 +289,12 @@ class FunctionLowerer:
             if len(e.args) != 1:
                 raise LowerError("free takes one argument")
             p, _ = self.lower_expr(e.args[0], pre)
-            pre.append(AssertStmt(
-                RelExpr("==", SelectExpr(VarExpr(FREED), p), IntLit(0)),
-                label=f"free${next(self._freel)}"))
+            # the Freed-map update is the semantics and always happens;
+            # only the double-free *check* is class-gated
+            if DOUBLE_FREE in self.bug_classes:
+                pre.append(AssertStmt(
+                    RelExpr("==", SelectExpr(VarExpr(FREED), p), IntLit(0)),
+                    label=f"free${next(self._freel)}"))
             pre.append(MapAssignStmt(FREED, p, IntLit(1)))
             return IntLit(0), CType("void")
         if e.name in ("lock", "unlock"):
@@ -239,9 +305,10 @@ class FunctionLowerer:
             p, _ = self.lower_expr(e.args[0], pre)
             want = IntLit(0) if e.name == "lock" else IntLit(1)
             becomes = IntLit(1) if e.name == "lock" else IntLit(0)
-            pre.append(AssertStmt(
-                RelExpr("==", SelectExpr(VarExpr(LOCKED), p), want),
-                label=f"{e.name}${next(self._lockl[e.name])}"))
+            if LOCK_PROTOCOL in self.bug_classes:
+                pre.append(AssertStmt(
+                    RelExpr("==", SelectExpr(VarExpr(LOCKED), p), want),
+                    label=f"{e.name}${next(self._lockl[e.name])}"))
             pre.append(MapAssignStmt(LOCKED, p, becomes))
             return IntLit(0), CType("void")
         # Evaluate arguments (their deref checks fire here).
@@ -260,7 +327,26 @@ class FunctionLowerer:
         ret_ty = target.ret if target is not None else CType("void", 1)
         tmp = self.fresh_tmp(ret_ty)
         pre.append(CallStmt((tmp,), e.name, ()))
+        if e.name in ALLOCATORS:
+            self._model_allocation(e, args, tmp, pre)
         return VarExpr(tmp), ret_ty
+
+    def _model_allocation(self, e: CCall, args: list[Expr], tmp: str,
+                          pre: list[Stmt]) -> None:
+        """Allocation-site facts for the scenario classes: the element
+        count lands in ``AllocSize`` (``malloc(n)`` -> n units,
+        ``calloc(n, size)`` -> n*size with ``sizeof`` == 1), and a fresh
+        allocation is known not-freed (``Freed[r] := 0``)."""
+        if BUFFER_OVERFLOW in self.bug_classes:
+            size: Expr | None = None
+            if e.name == "malloc" and len(args) == 1:
+                size = args[0]
+            elif e.name == "calloc" and len(args) == 2:
+                size = BinExpr("*", args[0], args[1])
+            if size is not None:
+                pre.append(MapAssignStmt(ALLOC_SIZE, VarExpr(tmp), size))
+        if USE_AFTER_FREE in self.bug_classes:
+            pre.append(MapAssignStmt(FREED, VarExpr(tmp), IntLit(0)))
 
     # ------------------------------------------------------------------
     # conditions
@@ -322,6 +408,10 @@ class FunctionLowerer:
             self.locals.append(il)
             if init_expr is not None:
                 pre.append(AssignStmt(il, init_expr))
+            elif USE_BEFORE_INIT in self.bug_classes:
+                slot = next(self._uninit_slot)
+                self.uninit_slots[il] = slot
+                pre.append(MapAssignStmt(INIT, IntLit(slot), IntLit(0)))
             return seq(*pre)
         if isinstance(s, CAssign):
             return self.lower_assign(s.target, s.value)
@@ -376,6 +466,7 @@ class FunctionLowerer:
         if isinstance(target, CVar):
             il = self.lookup(target.name)
             pre.append(AssignStmt(il, val))
+            self.mark_initialized(il, pre)
             return seq(*pre)
         if isinstance(target, CUnary) and target.op == "*":
             addr, _ = self.lower_expr(target.arg, pre)
@@ -391,6 +482,7 @@ class FunctionLowerer:
             base, _ = self.lower_expr(target.base, pre)
             idx, _ = self.lower_expr(target.index, pre)
             self.null_check(base, pre)
+            self.bounds_check(base, idx, pre)
             pre.append(MapAssignStmt(MEM, BinExpr("+", base, idx), val))
             return seq(*pre)
         raise LowerError(f"unsupported lvalue {target!r}")
@@ -435,8 +527,21 @@ def _written_maps(body: Stmt) -> set[str]:
 
 
 def lower_unit(unit: CTranslationUnit, conservative_modifies: bool = True,
-               unroll_depth: int = 2) -> Program:
-    """Lower a parsed translation unit to an IL program."""
+               unroll_depth: int = 2,
+               bug_classes: frozenset[str] | None = None) -> Program:
+    """Lower a parsed translation unit to an IL program.
+
+    ``bug_classes`` selects which automatic assertion families are
+    inserted (see `repro.scenarios.classes`).  The default —
+    ``DEFAULT_CLASSES`` — is the historical behavior: null checks, the
+    free() model, the lock typestate; enabling the scenario classes
+    adds ``uaf$``/``bound$``/``div$``/``uninit$`` assertions and the
+    ``AllocSize``/``Init`` map globals they need.
+    """
+    if bug_classes is None:
+        bug_classes = DEFAULT_CLASSES
+    else:
+        bug_classes = frozenset(bug_classes)
     field_names: set[str] = set()
     for sd in unit.structs.values():
         for fname, _ in sd.fields:
@@ -444,6 +549,10 @@ def lower_unit(unit: CTranslationUnit, conservative_modifies: bool = True,
     # fields can also appear without a struct definition in scope
     _collect_fields_in_use(unit, field_names)
     globals_: dict = {MEM: Type.MAP, FREED: Type.MAP, LOCKED: Type.MAP}
+    if BUFFER_OVERFLOW in bug_classes:
+        globals_[ALLOC_SIZE] = Type.MAP
+    if USE_BEFORE_INIT in bug_classes:
+        globals_[INIT] = Type.MAP
     for fname in sorted(field_names):
         globals_[field_map(fname)] = Type.MAP
     for gname, gty in unit.globals.items():
@@ -457,7 +566,7 @@ def lower_unit(unit: CTranslationUnit, conservative_modifies: bool = True,
         if fn.body is None:
             continue
         fl = FunctionLowerer(unit, fn, map_globals, conservative_modifies,
-                             unroll_depth)
+                             unroll_depth, bug_classes=bug_classes)
         procedures[fn.name] = fl.lower()
         used_externals |= fl.used_externals
     # declare external procedures (allocators, prototypes, unknowns)
@@ -533,9 +642,14 @@ def _collect_fields_in_use(unit: CTranslationUnit, out: set[str]) -> None:
 
 
 def compile_c(src: str, conservative_modifies: bool = True,
-              unroll_depth: int = 2) -> Program:
-    """Parse and lower mini-C source to an analyzable IL program."""
+              unroll_depth: int = 2,
+              bug_classes: frozenset[str] | None = None) -> Program:
+    """Parse and lower mini-C source to an analyzable IL program.
+
+    ``bug_classes`` selects the automatic assertion families (default:
+    the historical null-deref / double-free / lock-protocol set)."""
     from ..lang.typecheck import typecheck
     unit = parse_c(src)
     return typecheck(lower_unit(unit, conservative_modifies=conservative_modifies,
-                                unroll_depth=unroll_depth))
+                                unroll_depth=unroll_depth,
+                                bug_classes=bug_classes))

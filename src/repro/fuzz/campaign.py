@@ -47,6 +47,7 @@ ROTATION: list[tuple[str, GenConfig]] = [
     ("reduction", gen.SOLVER),
     ("lemma-cache", gen.SOLVER),
     ("theory_justifications", gen.SOLVER),
+    ("incremental-vs-naive", gen.SCENARIOS),
 ]
 
 _JOBS_CONFIG = gen.MULTIPROC

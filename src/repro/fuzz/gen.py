@@ -58,6 +58,11 @@ class GenConfig:
     funs: bool = True
     loops: bool = True
     domain_bound: int | None = None
+    #: also emit scenario-family assertions — labeled asserts in the
+    #: shapes the mini-C lowering inserts (``uaf$n``/``bound$n``/
+    #: ``div$n``/``uninit$n``, see `repro.scenarios.classes`) — so the
+    #: differential oracles exercise labeled multi-family procedures
+    scenario_families: bool = False
 
 
 class ProgramGen:
@@ -70,6 +75,7 @@ class ProgramGen:
         self.int_vars: tuple[str, ...] = ()
         self.map_vars: tuple[str, ...] = ()
         self.funs: dict[str, int] = {}
+        self._scn_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # weighted choice
@@ -168,6 +174,8 @@ class ProgramGen:
         if not cfg.deterministic:
             choices.append((1.0, lambda: HavocStmt(
                 (self.rng.choice(self.int_vars + self.map_vars),))))
+        if cfg.scenario_families:
+            choices.append((1.5, self._scenario_assert))
         if depth > 0:
             choices.append((2.0, lambda: self._if_stmt(depth)))
             if cfg.loops:
@@ -185,6 +193,33 @@ class ProgramGen:
         cond = None if nondet else self.formula(1)
         return WhileStmt(cond, self.block(depth - 1))
 
+    def _scenario_assert(self) -> Stmt:
+        """A labeled assert in one of the mini-C lowering's scenario
+        shapes: ``Freed[p] == 0`` (uaf), ``0 <= i && i < AllocSize[b]``
+        (bound), ``d != 0`` (div), ``Init[s] != 0`` (uninit) — with
+        generator variables standing in for the typestate maps."""
+        families = ["div", "uninit"]
+        if self.map_vars:
+            families += ["uaf", "bound"]
+        fam = self.rng.choice(families)
+        n = self._scn_counts.get(fam, 0) + 1
+        self._scn_counts[fam] = n
+        cell = lambda: SelectExpr(VarExpr(self.rng.choice(self.map_vars)),
+                                  self.int_expr(1))
+        if fam == "div":
+            f: Formula = RelExpr("!=", self.int_expr(1), IntLit(0))
+        elif fam == "uninit":
+            tracked = cell() if self.map_vars \
+                else VarExpr(self.rng.choice(self.int_vars))
+            f = RelExpr("!=", tracked, IntLit(0))
+        elif fam == "uaf":
+            f = RelExpr("==", cell(), IntLit(0))
+        else:  # bound
+            idx = self.int_expr(1)
+            f = AndExpr((RelExpr("<=", IntLit(0), idx),
+                         RelExpr("<", idx, cell())))
+        return AssertStmt(f, label=f"{fam}${n}")
+
     def block(self, depth: int) -> Stmt:
         n = self.rng.randint(1, self.cfg.max_block)
         return seq(*(self.stmt(depth) for _ in range(n)))
@@ -195,6 +230,7 @@ class ProgramGen:
 
     def procedure(self, name: str) -> Procedure:
         cfg = self.cfg
+        self._scn_counts = {}
         self.int_vars = INT_POOL[:self.rng.randint(1, max(1, cfg.n_int_vars))]
         self.map_vars = MAP_POOL[:self.rng.randint(0, cfg.n_map_vars)] \
             if cfg.maps else ()
@@ -254,3 +290,7 @@ BRUTE = GenConfig(deterministic=True, maps=False, funs=False, loops=False,
 # extraction under --self-check — so they fuzz a smaller fragment.
 SOLVER = GenConfig(n_int_vars=2, max_depth=2, max_block=3, stmt_depth=2)
 MULTIPROC = replace(SOLVER, n_procs=3)
+# Scenario-family fuzzing: the SOLVER fragment plus labeled asserts in
+# the lowering's uaf/bound/div/uninit shapes (two map vars so the
+# typestate-map shapes actually fire).
+SCENARIOS = replace(SOLVER, scenario_families=True, n_map_vars=2)

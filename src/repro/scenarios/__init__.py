@@ -1,0 +1,23 @@
+"""Bug-class scenario subsystem.
+
+Warning *class* as a first-class concept: the registry of bug classes
+and their label prefixes (`classes`), seeded per-class suite generators
+with ground truth known by construction (`generators`), and the
+per-class Figure-7-style classification report (`report`).
+
+See ``docs/scenarios.md`` for the taxonomy and the generator knobs.
+"""
+
+from .classes import (ALL_CLASSES, BUG_CLASSES, DEFAULT_CLASSES,
+                      SCENARIO_CLASSES, bug_class_counts, bug_class_of,
+                      parse_bug_classes)
+
+__all__ = [
+    "ALL_CLASSES",
+    "BUG_CLASSES",
+    "DEFAULT_CLASSES",
+    "SCENARIO_CLASSES",
+    "bug_class_counts",
+    "bug_class_of",
+    "parse_bug_classes",
+]

@@ -1,0 +1,125 @@
+"""The bug-class registry: warning classes and their label prefixes.
+
+Every automatic assertion the frontend inserts carries a label whose
+prefix names the *bug class* it checks (``deref$3`` is the third
+null-dereference check of its procedure, ``uaf$1`` the first
+use-after-free check, ...).  This module is the single source of truth
+for that mapping — a dependency-free leaf, importable from the
+frontend, the core report/cache/incremental layers and the bench/CLI
+layers without cycles.
+
+The five *scenario* classes (the ones the seeded suite generators and
+the per-class confidence table cover):
+
+=================  ==========  ==========================================
+bug class          prefix      automatic assertion
+=================  ==========  ==========================================
+null-deref         ``deref$``  ``assert p != 0`` before a dereference
+use-after-free     ``uaf$``    ``assert Freed[p] == 0`` before a deref
+buffer-overflow    ``bound$``  ``assert 0 <= i && i < AllocSize[base]``
+divide-by-zero     ``div$``    ``assert d != 0`` before ``/`` and ``%``
+use-before-init    ``uninit$`` ``assert Init[slot] != 0`` before a read
+=================  ==========  ==========================================
+
+plus the pre-existing families: ``free$`` (double-free), ``lock$`` /
+``unlock$`` (lock protocol), ``user$`` (user-written asserts) and
+``pre$`` (call preconditions inlined by elaboration).  A label with no
+registered prefix (hand-written mini-Boogie labels like ``R2``)
+classifies as ``user-assert``.
+"""
+
+from __future__ import annotations
+
+NULL_DEREF = "null-deref"
+USE_AFTER_FREE = "use-after-free"
+BUFFER_OVERFLOW = "buffer-overflow"
+DIVIDE_BY_ZERO = "divide-by-zero"
+USE_BEFORE_INIT = "use-before-init"
+DOUBLE_FREE = "double-free"
+LOCK_PROTOCOL = "lock-protocol"
+USER_ASSERT = "user-assert"
+CALL_PRECONDITION = "call-precondition"
+
+#: Label prefix (the part before ``$``) -> bug class.
+LABEL_PREFIXES: dict[str, str] = {
+    "deref": NULL_DEREF,
+    "uaf": USE_AFTER_FREE,
+    "bound": BUFFER_OVERFLOW,
+    "div": DIVIDE_BY_ZERO,
+    "uninit": USE_BEFORE_INIT,
+    "free": DOUBLE_FREE,
+    "lock": LOCK_PROTOCOL,
+    "unlock": LOCK_PROTOCOL,
+    "user": USER_ASSERT,
+    "pre": CALL_PRECONDITION,
+}
+
+#: Every known bug class, in glossary order.
+BUG_CLASSES: tuple[str, ...] = (
+    NULL_DEREF, USE_AFTER_FREE, BUFFER_OVERFLOW, DIVIDE_BY_ZERO,
+    USE_BEFORE_INIT, DOUBLE_FREE, LOCK_PROTOCOL, USER_ASSERT,
+    CALL_PRECONDITION,
+)
+
+#: The five classes the scenario suites measure (ISSUE/ROADMAP's
+#: SAFP-Bench-C-style taxonomy).
+SCENARIO_CLASSES: tuple[str, ...] = (
+    NULL_DEREF, USE_AFTER_FREE, BUFFER_OVERFLOW, DIVIDE_BY_ZERO,
+    USE_BEFORE_INIT,
+)
+
+#: Assertion families the frontend inserts by default — exactly the
+#: pre-scenario behavior (HAVOC null checks, the Figure-1 free() model,
+#: the lock typestate), so lowering without an explicit ``bug_classes``
+#: stays byte-identical to what it always produced.
+DEFAULT_CLASSES: frozenset[str] = frozenset(
+    {NULL_DEREF, DOUBLE_FREE, LOCK_PROTOCOL})
+
+#: Every gateable automatic family.
+ALL_CLASSES: frozenset[str] = frozenset(
+    {NULL_DEREF, USE_AFTER_FREE, BUFFER_OVERFLOW, DIVIDE_BY_ZERO,
+     USE_BEFORE_INIT, DOUBLE_FREE, LOCK_PROTOCOL})
+
+
+def bug_class_of(label: str) -> str:
+    """The bug class of a warning label, from its prefix.  Labels
+    without a registered ``<prefix>$`` shape (hand-written mini-Boogie
+    labels) classify as ``user-assert``."""
+    prefix, sep, _ = label.partition("$")
+    if sep:
+        cls = LABEL_PREFIXES.get(prefix)
+        if cls is not None:
+            return cls
+    return USER_ASSERT
+
+
+def bug_class_counts(labels) -> dict[str, int]:
+    """``{bug_class: count}`` over an iterable of warning labels,
+    sorted by class name so the dict is canonical (JSON-stable)."""
+    counts: dict[str, int] = {}
+    for label in labels:
+        cls = bug_class_of(label)
+        counts[cls] = counts.get(cls, 0) + 1
+    return {cls: counts[cls] for cls in sorted(counts)}
+
+
+def parse_bug_classes(spec: str) -> frozenset[str]:
+    """Parse a comma-separated ``--bug-classes`` value.  ``default``
+    and ``all`` name the two canned sets; anything else must be a known
+    class name.  Raises ``ValueError`` on an unknown name."""
+    out: set[str] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "default":
+            out |= DEFAULT_CLASSES
+        elif part == "all":
+            out |= ALL_CLASSES
+        elif part in ALL_CLASSES:
+            out.add(part)
+        else:
+            raise ValueError(
+                f"unknown bug class {part!r} (choose from "
+                f"{', '.join(sorted(ALL_CLASSES))}, or default/all)")
+    return frozenset(out)

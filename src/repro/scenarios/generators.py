@@ -1,0 +1,366 @@
+"""Seeded scenario generators: one suite per bug class, ground truth
+by construction.
+
+Each generator here mirrors the ``pat_*`` emitters of
+`repro.bench.suites` — it takes a seeded ``random.Random`` plus a
+function name and returns a :class:`~repro.bench.suites.GeneratedFunction`
+whose label dict *is* the ground truth (``True`` = a real bug reachable
+by construction, ``False`` = provably safe).  The shapes are chosen so
+the conservative verifier's verdict coincides exactly with the ground
+truth on the four *new* assertion families (every buggy label is
+Fail-reachable within the unroll bound of 2, every safe label is
+provable), which is what the property tests in
+``tests/scenarios/test_generators.py`` pin down.
+
+One suite per class, each enabling *only* its own assertion family (so
+the per-class confidence tables measure one family at a time):
+
+=============  ==================  =======================================
+suite          bug class           shapes
+=============  ==================  =======================================
+scn_deref      null-deref          the classic `pat_*` deref shapes
+scn_uaf        use-after-free      free-then-use, conditional free
+scn_bound      buffer-overflow     off-by-one loops, unguarded indices
+scn_div        divide-by-zero      guarded / unguarded / constant divisors
+scn_uninit     use-before-init     one-armed-if init, straight-line init
+=============  ==================  =======================================
+
+``tools/scenario_report.py`` sweeps these suites through
+Conc/A0/A1/A2/Cons and renders the Figure-7-style per-class
+confidence x FP-rate table (``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..bench.suites import (GeneratedFunction, Suite, build_suite,
+                            pat_check_then_use, pat_env_safe_deref,
+                            pat_guarded_deref, pat_late_check)
+from .classes import (BUFFER_OVERFLOW, DIVIDE_BY_ZERO, NULL_DEREF,
+                      USE_AFTER_FREE, USE_BEFORE_INIT)
+
+
+# ======================================================================
+# use-after-free
+# ======================================================================
+
+
+def gen_uaf_safe(rng: random.Random, name: str) -> GeneratedFunction:
+    """Allocate, use, then free — the use precedes the free, and the
+    allocation itself resets the Freed bit, so the check is provable."""
+    k = rng.randint(1, 9)
+    code = f"""
+void {name}(void) {{
+  int *p;
+  p = (int *)malloc({rng.randint(2, 8)});
+  *p = {k};
+  free(p);
+}}
+"""
+    return GeneratedFunction(name, code, {"uaf$1": False})
+
+
+def gen_uaf_buggy(rng: random.Random, name: str) -> GeneratedFunction:
+    """Free then use: the textbook use-after-free (a real bug)."""
+    code = f"""
+void {name}(int *p) {{
+  free(p);
+  *p = {rng.randint(1, 9)};
+}}
+"""
+    return GeneratedFunction(name, code, {"uaf$1": True})
+
+
+def gen_uaf_cond(rng: random.Random, name: str) -> GeneratedFunction:
+    """A conditional free on one path, an unconditional use after the
+    join — the free path makes the use reachable-after-free."""
+    code = f"""
+void {name}(int *p) {{
+  if (nondet()) {{
+    free(p);
+  }}
+  *p = {rng.randint(1, 9)};
+}}
+"""
+    return GeneratedFunction(name, code, {"uaf$1": True})
+
+
+# ======================================================================
+# buffer overflow
+# ======================================================================
+
+
+def gen_bound_safe(rng: random.Random, name: str) -> GeneratedFunction:
+    """Constant index strictly inside a constant allocation."""
+    size = rng.randint(5, 9)
+    idx = rng.randint(0, size - 1)
+    code = f"""
+void {name}(int k) {{
+  int *b;
+  b = (int *)malloc({size});
+  b[{idx}] = k;
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": False})
+
+
+def gen_bound_buggy(rng: random.Random, name: str) -> GeneratedFunction:
+    """Constant index past the end of a constant allocation."""
+    size = rng.randint(2, 4)
+    idx = size + rng.randint(1, 4)
+    code = f"""
+void {name}(int k) {{
+  int *b;
+  b = (int *)malloc({size});
+  b[{idx}] = k;
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": True})
+
+
+def gen_bound_loop_safe(rng: random.Random, name: str) -> GeneratedFunction:
+    """A fill loop whose trip count fits both the allocation and the
+    analyzer's unroll bound of 2."""
+    code = f"""
+void {name}(int k) {{
+  int *b;
+  int i;
+  b = (int *)malloc({rng.randint(4, 8)});
+  for (i = 0; i < 2; i++) {{
+    b[i] = k;
+  }}
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": False})
+
+
+def gen_bound_loop_off_by_one(rng: random.Random,
+                              name: str) -> GeneratedFunction:
+    """The classic ``<=`` off-by-one: a 1-element buffer written at
+    index 1 on the loop's second iteration (within the unroll bound)."""
+    code = f"""
+void {name}(int k) {{
+  int *b;
+  int i;
+  b = (int *)malloc(1);
+  for (i = 0; i <= 1; i++) {{
+    b[i] = k;
+  }}
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": True})
+
+
+def gen_bound_param_idx(rng: random.Random, name: str) -> GeneratedFunction:
+    """An unconstrained parameter used as an index: out-of-bounds is
+    reachable for large (or negative) arguments."""
+    code = f"""
+void {name}(int n) {{
+  int *b;
+  b = (int *)malloc({rng.randint(3, 6)});
+  b[n] = {rng.randint(1, 9)};
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": True})
+
+
+def gen_bound_guarded_idx(rng: random.Random, name: str) -> GeneratedFunction:
+    """The fixed version: the index is range-checked against the
+    allocation size before the access."""
+    size = rng.randint(3, 6)
+    code = f"""
+void {name}(int n) {{
+  int *b;
+  b = (int *)malloc({size});
+  if (0 <= n && n < {size}) {{
+    b[n] = {rng.randint(1, 9)};
+  }}
+}}
+"""
+    return GeneratedFunction(name, code, {"bound$1": False})
+
+
+# ======================================================================
+# divide by zero
+# ======================================================================
+
+
+def gen_div_guard(rng: random.Random, name: str) -> GeneratedFunction:
+    """Division behind the canonical nonzero guard."""
+    code = f"""
+void {name}(int n, int d) {{
+  int q;
+  q = 0;
+  if (d != 0) {{
+    q = n / d;
+  }}
+}}
+"""
+    return GeneratedFunction(name, code, {"div$1": False})
+
+
+def gen_div_buggy(rng: random.Random, name: str) -> GeneratedFunction:
+    """Divide first, check later: the belated guard betrays the belief
+    that ``d`` can be zero — the first division is a real bug, the
+    second is safe."""
+    code = f"""
+void {name}(int n, int d) {{
+  int q;
+  q = n / d;
+  if (d != 0) {{
+    q = n / d;
+  }}
+}}
+"""
+    return GeneratedFunction(name, code, {"div$1": True, "div$2": False})
+
+
+def gen_div_const(rng: random.Random, name: str) -> GeneratedFunction:
+    """Modulo by a nonzero literal — trivially safe."""
+    code = f"""
+void {name}(int n) {{
+  int q;
+  q = n % {rng.randint(2, 9)};
+}}
+"""
+    return GeneratedFunction(name, code, {"div$1": False})
+
+
+# ======================================================================
+# use before initialization
+# ======================================================================
+
+
+def gen_uninit_safe(rng: random.Random, name: str) -> GeneratedFunction:
+    """Declared, assigned, then read: straight-line init."""
+    code = f"""
+int {name}(int n) {{
+  int x;
+  x = {rng.randint(1, 9)};
+  return x + n;
+}}
+"""
+    return GeneratedFunction(name, code, {"uninit$1": False})
+
+
+def gen_uninit_branch(rng: random.Random, name: str) -> GeneratedFunction:
+    """One-armed initialization: the else-path reads ``x`` before any
+    assignment (a real bug)."""
+    code = f"""
+int {name}(int n) {{
+  int x;
+  if (n > 0) {{
+    x = {rng.randint(1, 9)};
+  }}
+  return x;
+}}
+"""
+    return GeneratedFunction(name, code, {"uninit$1": True})
+
+
+def gen_uninit_both(rng: random.Random, name: str) -> GeneratedFunction:
+    """Both arms assign before the read — provably initialized."""
+    code = f"""
+int {name}(int n) {{
+  int x;
+  if (n > 0) {{
+    x = {rng.randint(1, 9)};
+  }} else {{
+    x = {rng.randint(10, 19)};
+  }}
+  return x;
+}}
+"""
+    return GeneratedFunction(name, code, {"uninit$1": False})
+
+
+def gen_uninit_plain(rng: random.Random, name: str) -> GeneratedFunction:
+    """Read with no assignment anywhere (a real bug)."""
+    code = f"""
+int {name}(void) {{
+  int x;
+  return x;
+}}
+"""
+    return GeneratedFunction(name, code, {"uninit$1": True})
+
+
+# ======================================================================
+# the scenario suite registry
+# ======================================================================
+
+SCENARIO_PATTERNS = {
+    # null-deref reuses the classic catalog shapes
+    "guarded_deref": pat_guarded_deref,
+    "env_safe_deref": pat_env_safe_deref,
+    "check_then_use": pat_check_then_use,
+    "late_check": pat_late_check,
+    # use-after-free
+    "uaf_safe": gen_uaf_safe,
+    "uaf_buggy": gen_uaf_buggy,
+    "uaf_cond": gen_uaf_cond,
+    # buffer overflow
+    "bound_safe": gen_bound_safe,
+    "bound_buggy": gen_bound_buggy,
+    "bound_loop_safe": gen_bound_loop_safe,
+    "bound_loop_off_by_one": gen_bound_loop_off_by_one,
+    "bound_param_idx": gen_bound_param_idx,
+    "bound_guarded_idx": gen_bound_guarded_idx,
+    # divide by zero
+    "div_guard": gen_div_guard,
+    "div_buggy": gen_div_buggy,
+    "div_const": gen_div_const,
+    # use before initialization
+    "uninit_safe": gen_uninit_safe,
+    "uninit_branch": gen_uninit_branch,
+    "uninit_both": gen_uninit_both,
+    "uninit_plain": gen_uninit_plain,
+}
+
+#: suite name -> (description, bug class it measures, {pattern: count})
+SCENARIO_SUITE_RECIPES = {
+    "scn_deref": ("null-dereference scenarios", NULL_DEREF, {
+        "guarded_deref": 3, "env_safe_deref": 3, "check_then_use": 2,
+        "late_check": 2,
+    }),
+    "scn_uaf": ("use-after-free scenarios", USE_AFTER_FREE, {
+        "uaf_safe": 4, "uaf_buggy": 3, "uaf_cond": 2,
+    }),
+    "scn_bound": ("buffer-overflow scenarios", BUFFER_OVERFLOW, {
+        "bound_safe": 2, "bound_buggy": 2, "bound_loop_safe": 2,
+        "bound_loop_off_by_one": 2, "bound_param_idx": 2,
+        "bound_guarded_idx": 2,
+    }),
+    "scn_div": ("divide-by-zero scenarios", DIVIDE_BY_ZERO, {
+        "div_guard": 3, "div_buggy": 3, "div_const": 3,
+    }),
+    "scn_uninit": ("use-before-initialization scenarios", USE_BEFORE_INIT, {
+        "uninit_safe": 3, "uninit_branch": 2, "uninit_both": 2,
+        "uninit_plain": 2,
+    }),
+}
+
+
+def make_scenario_suite(name: str, scale: float = 1.0,
+                        seed: int | None = None) -> Suite:
+    """Build one per-class scenario suite by name.  Seeding follows
+    `repro.bench.suites.make_suite`, so every run sees the same
+    programs; the suite enables *only* its own assertion family."""
+    desc, bug_class, mix = SCENARIO_SUITE_RECIPES[name]
+    if seed is None:
+        seed = sum(ord(ch) for ch in name) * 7919
+    return build_suite(name, desc, mix, seed=seed, scale=scale,
+                       patterns=SCENARIO_PATTERNS,
+                       bug_classes=frozenset({bug_class}))
+
+
+def scenario_suites(scale: float = 1.0) -> list[Suite]:
+    """All five per-class suites, in registry order."""
+    return [make_scenario_suite(n, scale=scale)
+            for n in SCENARIO_SUITE_RECIPES]
+
+
+def suite_bug_class(name: str) -> str:
+    """The bug class a registered scenario suite measures."""
+    return SCENARIO_SUITE_RECIPES[name][1]

@@ -1,0 +1,17 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: buffer-overflow scenario shape — the bound$ obligation is a
+// conjunction over a map read (0 <= i && i < AllocSize[b]); wp's
+// conjunct splitting and the interpreter's short-circuit evaluation
+// must reach the same verdict when i sits exactly on the boundary.
+procedure main(i: int, b: int, AllocSize: [int]int)
+{
+  AllocSize[b] := 2;
+  assume i >= 0;
+  assume i <= 1;
+  bound$1: assert (0 <= i && i < AllocSize[b]);
+  AllocSize[b] := i;
+  assert AllocSize[b] < 2;
+}

@@ -1,0 +1,17 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: divide-by-zero scenario shape — the div$ obligation guards an
+// uninterpreted div$(n, d) application; the assert is on d itself, so
+// interp and wp must agree even though the quotient stays symbolic.
+procedure main(n: int, d: int)
+{
+  var q: int;
+  assume d > 0;
+  div$1: assert d != 0;
+  q := div$(n, d);
+  assert (d > 0 ==> d != 0);
+}
+
+function div$(int, int): int;

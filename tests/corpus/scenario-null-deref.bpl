@@ -1,0 +1,17 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: null-deref scenario shape — the guard assumes p away from 0
+// only on one branch; wp must thread the branch condition into the
+// deref$ obligation exactly like the interpreter's concrete path does.
+procedure main(p: int, Mem: [int]int)
+{
+  if (p > 0) {
+    deref$1: assert p != 0;
+    Mem[p] := 1;
+  } else {
+    Mem[0] := 2;
+  }
+  assert (p > 0 ==> Mem[p] == 1);
+}

@@ -1,0 +1,16 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: use-after-free scenario shape — Freed is ordinary map state,
+// so the uaf$ obligation after the strong update Freed[p] := 1 must
+// read back 1 under both wp's store/select chain and the interpreter.
+procedure main(p: int, Freed: [int]int)
+{
+  assume Freed[p] == 0;
+  uaf$1: assert Freed[p] == 0;
+  Freed[p] := 1;
+  assert Freed[p] == 1;
+  Freed[p] := 0;
+  uaf$2: assert Freed[p] == 0;
+}

@@ -1,0 +1,16 @@
+// hand-written regression — replayed by tests/corpus/test_corpus_replay.py
+// oracle: interp-vs-wp
+// rng-seed: 0
+// found: hand-written kind=regression
+// detail: use-before-init scenario shape — Init is flipped to 1 on only
+// one branch, so the uninit$ obligation holds iff the branch was taken;
+// wp's join of the two branch summaries must match the concrete run.
+procedure main(s: int, k: int, Init: [int]int)
+{
+  Init[s] := 0;
+  if (k > 0) {
+    Init[s] := 1;
+  }
+  uninit$1: assert (k > 0 ==> Init[s] != 0);
+  assert (k <= 0 ==> Init[s] == 0);
+}

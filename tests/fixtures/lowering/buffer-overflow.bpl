@@ -1,0 +1,28 @@
+var AllocSize: [int]int;
+var Freed: [int]int;
+var Locked: [int]int;
+var Mem: [int]int;
+function div$(int, int): int;
+function mod$(int, int): int;
+
+procedure f(p: int, n: int, d: int)
+  modifies Mem, Freed, Locked, AllocSize;
+{
+  var x: int;
+  var b: int;
+  var tmp$1: int;
+  call tmp$1 := malloc();
+  AllocSize[tmp$1] := 4;
+  b := tmp$1;
+  if (n > 0) {
+    x := 1;
+  }
+  Mem[p] := x;
+  bound$1: assert (0 <= n && n < AllocSize[b]);
+  Mem[(b + n)] := div$(n, d);
+  Freed[b] := 1;
+}
+
+procedure malloc() returns (r: int)
+  modifies Mem, Freed, Locked, AllocSize;
+  ;

@@ -1,0 +1,27 @@
+var Freed: [int]int;
+var Locked: [int]int;
+var Mem: [int]int;
+function div$(int, int): int;
+function mod$(int, int): int;
+
+procedure f(p: int, n: int, d: int)
+  modifies Mem, Freed, Locked;
+{
+  var x: int;
+  var b: int;
+  var tmp$1: int;
+  call tmp$1 := malloc();
+  b := tmp$1;
+  if (n > 0) {
+    x := 1;
+  }
+  deref$1: assert p != 0;
+  Mem[p] := x;
+  deref$2: assert b != 0;
+  Mem[(b + n)] := div$(n, d);
+  Freed[b] := 1;
+}
+
+procedure malloc() returns (r: int)
+  modifies Mem, Freed, Locked;
+  ;

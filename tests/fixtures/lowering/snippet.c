@@ -1,0 +1,11 @@
+void f(int *p, int n, int d) {
+  int x;
+  int *b;
+  b = (int *)malloc(4);
+  if (n > 0) {
+    x = 1;
+  }
+  *p = x;
+  b[n] = n / d;
+  free(b);
+}

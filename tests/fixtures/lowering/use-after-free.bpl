@@ -1,0 +1,28 @@
+var Freed: [int]int;
+var Locked: [int]int;
+var Mem: [int]int;
+function div$(int, int): int;
+function mod$(int, int): int;
+
+procedure f(p: int, n: int, d: int)
+  modifies Mem, Freed, Locked;
+{
+  var x: int;
+  var b: int;
+  var tmp$1: int;
+  call tmp$1 := malloc();
+  Freed[tmp$1] := 0;
+  b := tmp$1;
+  if (n > 0) {
+    x := 1;
+  }
+  uaf$1: assert Freed[p] == 0;
+  Mem[p] := x;
+  uaf$2: assert Freed[b] == 0;
+  Mem[(b + n)] := div$(n, d);
+  Freed[b] := 1;
+}
+
+procedure malloc() returns (r: int)
+  modifies Mem, Freed, Locked;
+  ;

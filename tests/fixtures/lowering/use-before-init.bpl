@@ -1,0 +1,33 @@
+var Freed: [int]int;
+var Init: [int]int;
+var Locked: [int]int;
+var Mem: [int]int;
+function div$(int, int): int;
+function mod$(int, int): int;
+
+procedure f(p: int, n: int, d: int)
+  modifies Mem, Freed, Locked, Init;
+{
+  var x: int;
+  var b: int;
+  var tmp$1: int;
+  Init[1] := 0;
+  Init[2] := 0;
+  call tmp$1 := malloc();
+  b := tmp$1;
+  Init[2] := 1;
+  if (n > 0) {
+    x := 1;
+    Init[1] := 1;
+  }
+  uninit$1: assert Init[1] != 0;
+  Mem[p] := x;
+  uninit$2: assert Init[2] != 0;
+  Mem[(b + n)] := div$(n, d);
+  uninit$3: assert Init[2] != 0;
+  Freed[b] := 1;
+}
+
+procedure malloc() returns (r: int)
+  modifies Mem, Freed, Locked, Init;
+  ;

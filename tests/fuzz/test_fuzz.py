@@ -86,3 +86,23 @@ def test_corpus_write_parse_replay_roundtrip(tmp_path):
     assert parse_case_header(text) == ("roundtrip", 1234)
     # the committed reproducer replays through the named oracle
     assert replay_case_text(text) is None
+
+
+def test_scenario_preset_emits_every_family():
+    from repro.lang.parser import parse_program
+    from repro.lang.typecheck import typecheck
+    seen: set[str] = set()
+    for seed in range(40):
+        program = generate_program(seed, gen.SCENARIOS)
+        text = pp_program(program)
+        # scenario asserts stay inside the parser normal form
+        assert parse_program(text) == program, seed
+        typecheck(program)
+        for fam in ("uaf$", "bound$", "div$", "uninit$"):
+            if fam + "1:" in text:
+                seen.add(fam)
+    assert seen == {"uaf$", "bound$", "div$", "uninit$"}
+
+
+def test_scenario_preset_is_in_the_rotation():
+    assert ("incremental-vs-naive", gen.SCENARIOS) in ROTATION

@@ -1,0 +1,64 @@
+"""The bug-class registry (`repro.scenarios.classes`): label-prefix
+derivation, canonical counting, and spec parsing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios.classes import (ALL_CLASSES, BUG_CLASSES,
+                                     DEFAULT_CLASSES, LABEL_PREFIXES,
+                                     SCENARIO_CLASSES, USER_ASSERT,
+                                     bug_class_counts, bug_class_of,
+                                     parse_bug_classes)
+
+
+class TestBugClassOf:
+    def test_every_prefix_maps_to_its_class(self):
+        for prefix, cls in LABEL_PREFIXES.items():
+            assert bug_class_of(f"{prefix}$1") == cls
+            assert bug_class_of(f"{prefix}$17") == cls
+
+    def test_call_precondition_labels(self):
+        # the lowering emits pre$<n>$<callee> labels for call preconditions
+        assert bug_class_of("pre$1$Release") == "call-precondition"
+
+    def test_unknown_prefix_falls_back_to_user_assert(self):
+        assert bug_class_of("A5") == USER_ASSERT
+        assert bug_class_of("whatever$3") == USER_ASSERT
+        assert bug_class_of("") == USER_ASSERT
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(min_size=0, max_size=12))
+    def test_total_on_arbitrary_labels(self, label):
+        assert bug_class_of(label) in BUG_CLASSES
+
+
+class TestCounts:
+    def test_counts_are_sorted_and_complete(self):
+        counts = bug_class_counts(["deref$1", "deref$2", "uaf$1", "U1"])
+        assert counts == {"null-deref": 2, "use-after-free": 1,
+                          "user-assert": 1}
+        assert list(counts) == sorted(counts)
+
+    def test_empty(self):
+        assert bug_class_counts([]) == {}
+
+
+class TestParseSpec:
+    def test_aliases(self):
+        assert parse_bug_classes("default") == DEFAULT_CLASSES
+        assert parse_bug_classes("all") == ALL_CLASSES
+
+    def test_explicit_list(self):
+        got = parse_bug_classes("use-after-free,divide-by-zero")
+        assert got == frozenset({"use-after-free", "divide-by-zero"})
+
+    def test_whitespace_tolerated(self):
+        got = parse_bug_classes(" null-deref , divide-by-zero ")
+        assert got == frozenset({"null-deref", "divide-by-zero"})
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError, match="unknown bug class"):
+            parse_bug_classes("null-deref,nonsense")
+
+    def test_scenario_classes_are_all_gateable(self):
+        assert set(SCENARIO_CLASSES) <= set(ALL_CLASSES)

@@ -1,0 +1,77 @@
+"""Golden lowering fixtures: the same mini-C snippet lowered once per
+scenario class must keep producing byte-identical IL
+(``tests/fixtures/lowering/<class>.bpl``), and the default lowering
+must not mention any of the opt-in machinery."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.frontend.lower import compile_c
+from repro.lang.pretty import pp_program
+from repro.scenarios.classes import (ALL_CLASSES, DEFAULT_CLASSES,
+                                     SCENARIO_CLASSES)
+
+FIXDIR = Path(__file__).resolve().parents[1] / "fixtures" / "lowering"
+SNIPPET = (FIXDIR / "snippet.c").read_text()
+
+#: class -> a label marker its lowering (alone) must introduce (the
+#: trailing colon keeps ``div$1:`` from matching the always-declared
+#: uninterpreted ``function div$``)
+MARKERS = {
+    "null-deref": "deref$1:",
+    "use-after-free": "uaf$1:",
+    "buffer-overflow": "bound$1:",
+    "divide-by-zero": "div$1:",
+    "use-before-init": "uninit$1:",
+}
+
+
+def lower(bug_classes) -> str:
+    text = pp_program(compile_c(SNIPPET, bug_classes=bug_classes))
+    return text if text.endswith("\n") else text + "\n"
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("cls", SCENARIO_CLASSES)
+    def test_single_class_lowering_matches_golden(self, cls):
+        golden = (FIXDIR / f"{cls}.bpl").read_text()
+        assert lower(frozenset({cls})) == golden
+
+    @pytest.mark.parametrize("cls", SCENARIO_CLASSES)
+    def test_single_class_introduces_only_its_own_labels(self, cls):
+        text = lower(frozenset({cls}))
+        assert MARKERS[cls] in text
+        for other, marker in MARKERS.items():
+            if other != cls:
+                assert marker not in text
+
+    def test_default_equals_explicit_default_set(self):
+        assert lower(None) == lower(DEFAULT_CLASSES)
+
+    def test_default_has_no_scenario_machinery(self):
+        text = lower(None)
+        for cls, marker in MARKERS.items():
+            if cls != "null-deref":
+                assert marker not in text
+        assert "AllocSize" not in text
+        assert "var Init" not in text
+
+    def test_all_classes_compose(self):
+        text = lower(ALL_CLASSES)
+        for marker in MARKERS.values():
+            assert marker in text
+        assert "AllocSize" in text
+        assert "Init" in text
+
+
+class TestMapGlobals:
+    def test_alloc_size_only_with_buffer_overflow(self):
+        assert "var AllocSize: [int]int;" in lower(
+            frozenset({"buffer-overflow"}))
+        assert "AllocSize" not in lower(frozenset({"divide-by-zero"}))
+
+    def test_init_only_with_use_before_init(self):
+        assert "var Init: [int]int;" in lower(
+            frozenset({"use-before-init"}))
+        assert "Init" not in lower(frozenset({"buffer-overflow"}))

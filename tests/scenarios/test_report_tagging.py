@@ -1,0 +1,126 @@
+"""End-to-end bug-class tagging: all five families flow from mini-C
+through analysis into ``ProcedureReport.bug_classes``,
+``ProgramReport.bug_class_totals``, ``TriagedWarning.bug_class`` and
+the CLI summary line."""
+
+from pathlib import Path
+
+from repro.cli import run
+from repro.core import analyze_program, conservative_program
+from repro.core.analysis import analyze_procedure
+from repro.core.report import TriagedWarning
+from repro.frontend.lower import compile_c
+from repro.scenarios.classes import ALL_CLASSES, SCENARIO_CLASSES
+
+#: one real bug per scenario family, in one translation unit
+FIVE_BUGS = """
+void bug_deref(int *p) {
+  *p = 1;
+  if (p != NULL) {
+    *p = 2;
+  }
+}
+
+void bug_uaf(int *p) {
+  free(p);
+  *p = 1;
+}
+
+void bug_bound(int k) {
+  int *b;
+  b = (int *)malloc(2);
+  b[5] = k;
+}
+
+void bug_div(int n, int d) {
+  int q;
+  q = n / d;
+  if (d != 0) {
+    q = n / d;
+  }
+}
+
+int bug_uninit(int n) {
+  int x;
+  if (n > 0) {
+    x = 1;
+  }
+  return x;
+}
+"""
+
+EXPECTED = {
+    "bug_deref": "null-deref",
+    "bug_uaf": "use-after-free",
+    "bug_bound": "buffer-overflow",
+    "bug_div": "divide-by-zero",
+    "bug_uninit": "use-before-init",
+}
+
+
+def _program():
+    return compile_c(FIVE_BUGS, bug_classes=ALL_CLASSES)
+
+
+class TestReportTagging:
+    def test_all_five_classes_reach_procedure_reports(self):
+        prog = _program()
+        rep = analyze_program(prog, proc_names=sorted(EXPECTED))
+        by_proc = {r.proc_name: r for r in rep.reports}
+        for proc, cls in EXPECTED.items():
+            assert cls in by_proc[proc].bug_classes, (proc, cls)
+        totals = rep.bug_class_totals()
+        for cls in SCENARIO_CLASSES:
+            assert totals.get(cls, 0) >= 1, cls
+
+    def test_conservative_warns_on_every_family(self):
+        prog = _program()
+        warnings, timeouts = conservative_program(
+            prog, proc_names=sorted(EXPECTED))
+        assert timeouts == 0
+        for proc, cls in EXPECTED.items():
+            labels = warnings.get(proc, [])
+            assert labels, proc
+            from repro.scenarios.classes import bug_class_counts
+            assert cls in bug_class_counts(labels)
+
+    def test_bug_classes_counts_match_warning_labels(self):
+        prog = _program()
+        rep = analyze_procedure(prog, "bug_div")
+        assert sum(rep.bug_classes.values()) == len(rep.warnings)
+
+    def test_triaged_warning_derives_its_class(self):
+        w = TriagedWarning(proc_name="p", label="uaf$2", confidence="HIGH")
+        assert w.bug_class == "use-after-free"
+        w2 = TriagedWarning(proc_name="p", label="R1", confidence="HIGH")
+        assert w2.bug_class == "user-assert"
+
+
+class TestCliSummary:
+    def test_batch_prints_bug_class_summary(self, tmp_path):
+        import io
+        src = tmp_path / "five.c"
+        src.write_text(FIVE_BUGS)
+        buf = io.StringIO()
+        rc = run(["--c", "--bug-classes", "all", str(src)], out=buf)
+        out = buf.getvalue()
+        assert rc == 1
+        assert "warnings by bug class:" in out
+        for cls in EXPECTED.values():
+            assert f"{cls}=" in out
+
+    def test_batch_default_classes_only_deref(self, tmp_path):
+        import io
+        src = tmp_path / "five.c"
+        src.write_text(FIVE_BUGS)
+        buf = io.StringIO()
+        rc = run(["--c", str(src)], out=buf)
+        out = buf.getvalue()
+        assert rc == 1
+        assert "use-after-free" not in out
+        assert "buffer-overflow" not in out
+
+    def test_bad_bug_classes_spec_exits_2(self, tmp_path, capsys):
+        src = tmp_path / "five.c"
+        src.write_text(FIVE_BUGS)
+        assert run(["--c", "--bug-classes", "bogus", str(src)]) == 2

@@ -84,12 +84,15 @@ def check_snippets(path: Path) -> list[str]:
 # "docs/fleet.md" both count).  Keep this list small — it is a contract
 # for navigability, not an index of every link.
 REQUIRED_LINKS: dict[str, list[str]] = {
-    "README.md": ["docs/fleet.md", "docs/serving.md", "docs/ci_mode.md"],
+    "README.md": ["docs/fleet.md", "docs/serving.md", "docs/ci_mode.md",
+                  "docs/scenarios.md"],
     "docs/architecture.md": ["docs/fleet.md", "docs/serving.md",
-                             "docs/ci_mode.md"],
+                             "docs/ci_mode.md", "docs/scenarios.md"],
     "docs/serving.md": ["docs/fleet.md", "docs/cli.md"],
     "docs/cli.md": ["docs/fleet.md", "docs/serving.md",
-                    "docs/ci_mode.md"],
+                    "docs/ci_mode.md", "docs/scenarios.md"],
+    "docs/scenarios.md": ["docs/architecture.md", "docs/cli.md",
+                          "docs/ci_mode.md", "docs/testing.md"],
     "docs/ci_mode.md": ["docs/caching.md", "docs/cli.md",
                         "docs/architecture.md", "docs/serving.md"],
     "docs/caching.md": ["docs/ci_mode.md"],
